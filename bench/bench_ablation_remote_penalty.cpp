@@ -1,0 +1,40 @@
+// Ablation: sensitivity to the modelled remote-free penalty (the knob that
+// stands in for the paper's cross-socket cache-line transfer latency; see
+// DESIGN.md). The batch-vs-AF gap should widen as remote frees get more
+// expensive, and vanish at penalty 0 on a small machine.
+#include "bench_common.hpp"
+
+using namespace emr;
+using namespace emr::bench;
+
+int main() {
+  harness::TrialConfig base = default_config();
+  base.nthreads = max_threads();
+  harness::print_banner(
+      "Ablation: remote-free penalty sensitivity (batch vs AF)",
+      "PPoPP'24 \"Are Your Epochs Too Epic?\" DESIGN.md substitution",
+      describe(base));
+
+  harness::Table table(
+      {"penalty_ns", "batch Mops/s", "AF Mops/s", "AF/batch"});
+  for (const std::uint64_t penalty : {0, 50, 150, 500, 2000}) {
+    double mops[2] = {0, 0};
+    int i = 0;
+    for (const char* reclaimer : {"debra", "debra_af"}) {
+      harness::TrialConfig cfg = base;
+      cfg.reclaimer = reclaimer;
+      cfg.alloc.remote_free_penalty_ns = penalty;
+      harness::Trial trial(cfg);
+      mops[i++] = trial.run().mops;
+    }
+    table.add_row({std::to_string(penalty), harness::fixed(mops[0], 2),
+                   harness::fixed(mops[1], 2),
+                   harness::fixed(mops[0] > 0 ? mops[1] / mops[0] : 0, 2) +
+                       "x"});
+  }
+  table.print();
+  table.write_csv(harness::out_dir() + "ablation_remote_penalty.csv");
+  std::printf("\nexpected: the AF advantage grows with the remote-free "
+              "cost — the NUMA effect the paper measures on 4 sockets.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Ablation: jemalloc-model thread-cache capacity and flush fraction — the
+// two knobs of the mechanism behind the RBF problem (§3.2). Larger caches
+// absorb bigger batches before a flush; smaller flush fractions keep more
+// objects for local reuse.
+#include "bench_common.hpp"
+
+using namespace emr;
+using namespace emr::bench;
+
+int main() {
+  harness::TrialConfig base = default_config();
+  base.nthreads = max_threads();
+  base.reclaimer = "debra";
+  harness::print_banner(
+      "Ablation: tcache capacity and flush fraction (JE model, batch free)",
+      "PPoPP'24 \"Are Your Epochs Too Epic?\" section 3.2 mechanism",
+      describe(base));
+
+  harness::Table table({"tcache_cap", "flush_frac", "Mops/s", "%flush",
+                        "%lock", "flushes"});
+  for (const std::size_t cap : {32, 128, 512}) {
+    for (const double frac : {0.25, 0.75}) {
+      harness::TrialConfig cfg = base;
+      cfg.alloc.tcache_cap = cap;
+      cfg.alloc.flush_fraction = frac;
+      harness::Trial trial(cfg);
+      const harness::TrialResult r = trial.run();
+      table.add_row({std::to_string(cap), harness::fixed(frac, 2),
+                     harness::fixed(r.mops, 2),
+                     harness::fixed(r.pct_flush, 1),
+                     harness::fixed(r.pct_lock, 1),
+                     std::to_string(r.alloc_diff.totals.n_flush)});
+    }
+  }
+  table.print();
+  table.write_csv(harness::out_dir() + "ablation_tcache.csv");
+  return 0;
+}

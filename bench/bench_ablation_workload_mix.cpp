@@ -1,0 +1,37 @@
+// Extension ablation: update-fraction sensitivity. The paper fixes 50%
+// inserts / 50% deletes; the RBF problem is driven by allocation/free
+// traffic, so the batch-vs-AF gap should shrink as reads displace updates.
+#include "bench_common.hpp"
+
+using namespace emr;
+using namespace emr::bench;
+
+int main() {
+  harness::TrialConfig base = default_config();
+  base.nthreads = max_threads();
+  harness::print_banner(
+      "Ablation: update fraction (reads displace allocator traffic)",
+      "PPoPP'24 \"Are Your Epochs Too Epic?\" workload extension",
+      describe(base));
+
+  harness::Table table({"updates%", "batch Mops/s", "AF Mops/s", "AF/batch"});
+  for (const int updates_pct : {100, 50, 20, 5}) {
+    double mops[2] = {0, 0};
+    int i = 0;
+    for (const char* reclaimer : {"debra", "debra_af"}) {
+      harness::TrialConfig cfg = base;
+      cfg.reclaimer = reclaimer;
+      cfg.insert_frac = updates_pct / 200.0;
+      cfg.erase_frac = updates_pct / 200.0;
+      harness::Trial trial(cfg);
+      mops[i++] = trial.run().mops;
+    }
+    table.add_row({std::to_string(updates_pct),
+                   harness::fixed(mops[0], 2), harness::fixed(mops[1], 2),
+                   harness::fixed(mops[0] > 0 ? mops[1] / mops[0] : 0, 2) +
+                       "x"});
+  }
+  table.print();
+  table.write_csv(harness::out_dir() + "ablation_workload_mix.csv");
+  return 0;
+}

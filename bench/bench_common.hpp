@@ -1,0 +1,86 @@
+// Shared configuration for the paper-reproduction bench binaries.
+//
+// Every binary runs at laptop scale by default and scales to the paper's
+// setup through environment variables (see EXPERIMENTS.md):
+//   EMR_THREADS  - thread counts, e.g. "6 12 24 48 96 144 192"
+//   EMR_MS       - measured milliseconds per trial (paper: 5000)
+//   EMR_TRIALS   - trials per data point (paper: 3)
+//   EMR_KEYRANGE - key range (paper: 2e7 for ABtree, 2e6 for DGT)
+//   EMR_BATCH    - retire batch size (paper Experiment 2: 32768)
+//   EMR_ALLOC    - je | tc | mi | system
+//   EMR_REMOTE_PENALTY_NS - modelled cross-socket free penalty
+//   EMR_OUT      - artifact directory for CSV/timeline dumps
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/env.hpp"
+#include "harness/report.hpp"
+#include "harness/workload.hpp"
+
+namespace emr::bench {
+
+/// Laptop-scale defaults shared by all binaries; env overrides win.
+inline harness::TrialConfig default_config() {
+  harness::TrialConfig cfg;
+  cfg.ds = "abtree";
+  cfg.reclaimer = "debra";
+  cfg.allocator = "je";
+  cfg.nthreads = 4;
+  cfg.keyrange = 1 << 14;
+  cfg.measure_ms = 200;
+  cfg.trials = 1;
+  cfg.smr.batch_size = 2048;
+  // Model the four-socket machine's remote-free cost so the RBF effect is
+  // visible at laptop scale (DESIGN.md, substitution table).
+  cfg.alloc.remote_free_penalty_ns = 150;
+
+  // Apply env overrides on top.
+  harness::TrialConfig env = harness::config_from_env();
+  cfg.ds = env.ds;
+  cfg.reclaimer = env.reclaimer;
+  cfg.allocator = env.allocator;
+  cfg.keyrange = env_i64("EMR_KEYRANGE", 0) > 0 ? env.keyrange : cfg.keyrange;
+  cfg.measure_ms = env_i64("EMR_MS", 0) > 0 ? env.measure_ms : cfg.measure_ms;
+  cfg.trials = env_i64("EMR_TRIALS", 0) > 0 ? env.trials : cfg.trials;
+  cfg.seed = env.seed;
+  cfg.smr.batch_size = env_i64("EMR_BATCH", 0) > 0 ? env.smr.batch_size
+                                                   : cfg.smr.batch_size;
+  cfg.smr.af_drain_per_op = env.smr.af_drain_per_op;
+  cfg.alloc.remote_free_penalty_ns =
+      env_i64("EMR_REMOTE_PENALTY_NS", -1) >= 0
+          ? env.alloc.remote_free_penalty_ns
+          : cfg.alloc.remote_free_penalty_ns;
+  return cfg;
+}
+
+/// Default thread sweep: oversubscribes the machine (the analogue of the
+/// paper's walk from one socket to four).
+inline std::vector<int> default_thread_sweep() {
+  return harness::thread_sweep_from_env({1, 2, 4, 8, 16});
+}
+
+/// Largest thread count of the sweep (the paper's "192 threads" column).
+inline int max_threads() {
+  const auto sweep = default_thread_sweep();
+  int m = 1;
+  for (int t : sweep) m = std::max(m, t);
+  return m;
+}
+
+inline std::string describe(const harness::TrialConfig& cfg) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "ds=%s alloc=%s keyrange=%llu ms=%d trials=%d batch=%zu "
+                "penalty=%lluns",
+                cfg.ds.c_str(), cfg.allocator.c_str(),
+                static_cast<unsigned long long>(cfg.keyrange),
+                cfg.measure_ms, cfg.trials, cfg.smr.batch_size,
+                static_cast<unsigned long long>(
+                    cfg.alloc.remote_free_penalty_ns));
+  return buf;
+}
+
+}  // namespace emr::bench

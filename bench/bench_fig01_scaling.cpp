@@ -1,0 +1,44 @@
+// Figure 1 (a-d): throughput and peak memory vs thread count for the
+// ABtree and OCCtree, with DEBRA (upper) vs leaking memory (lower).
+// Paper shape: both trees scale to moderate thread counts; with DEBRA the
+// ABtree flattens at high thread counts while the OCCtree keeps scaling;
+// leaking closes the gap (at a large peak-memory cost for the ABtree).
+#include "bench_common.hpp"
+
+using namespace emr;
+using namespace emr::bench;
+
+int main() {
+  harness::TrialConfig base = default_config();
+  const auto sweep = default_thread_sweep();
+  harness::print_banner("Figure 1: ABtree vs OCCtree, DEBRA vs leak",
+                        "PPoPP'24 \"Are Your Epochs Too Epic?\" Fig. 1",
+                        describe(base));
+
+  harness::Table table({"threads", "ds", "reclaimer", "Mops/s", "min", "max",
+                        "peak_MiB"});
+  for (const char* reclaimer : {"debra", "none"}) {
+    for (const char* ds : {"abtree", "occtree"}) {
+      for (int n : sweep) {
+        harness::TrialConfig cfg = base;
+        cfg.ds = ds;
+        cfg.reclaimer = reclaimer;
+        cfg.nthreads = n;
+        const harness::AggregateResult r = harness::run_trials(cfg);
+        table.add_row({std::to_string(n), ds, reclaimer,
+                       harness::fixed(r.avg_mops, 2),
+                       harness::fixed(r.min_mops, 2),
+                       harness::fixed(r.max_mops, 2),
+                       harness::fixed(r.avg_peak_mib, 1)});
+        std::printf("  threads=%-3d %-8s %-6s  %7.2f Mops/s  peak %.1f MiB\n",
+                    n, ds, reclaimer, r.avg_mops, r.avg_peak_mib);
+      }
+    }
+  }
+  std::printf("\n");
+  table.print();
+  table.write_csv(harness::out_dir() + "fig01_scaling.csv");
+  std::printf("\nCSV: %sfig01_scaling.csv\n",
+              harness::out_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 2 (a,b): timeline graphs of time spent freeing limbo-bag batches
+// as epochs change (ABtree + DEBRA + JE model), at a moderate and a high
+// thread count. Paper shape: at the higher count, reclamation events are
+// many times longer than the 2x expected from doubled batch sizes.
+#include "bench_common.hpp"
+
+using namespace emr;
+using namespace emr::bench;
+
+int main() {
+  harness::TrialConfig base = default_config();
+  base.reclaimer = "debra";
+  base.enable_timeline = true;
+  const auto sweep = default_thread_sweep();
+  const int hi = max_threads();
+  const int lo = std::max(1, hi / 2);
+  harness::print_banner(
+      "Figure 2: timelines of batch frees, moderate vs high threads",
+      "PPoPP'24 \"Are Your Epochs Too Epic?\" Fig. 2", describe(base));
+
+  double avg_batch_ns[2] = {0, 0};
+  int idx = 0;
+  for (int n : {lo, hi}) {
+    harness::TrialConfig cfg = base;
+    cfg.nthreads = n;
+    harness::Trial trial(cfg);
+    (void)trial.run();
+
+    std::printf("\n--- %d threads: '#' = freeing a limbo bag, o/| = epoch "
+                "advance ---\n",
+                n);
+    std::fputs(
+        trial.timeline().render_ascii(EventKind::kBatchFree, 20, 100).c_str(),
+        stdout);
+    const std::string csv = harness::out_dir() + "fig02_timeline_" +
+                            std::to_string(n) + "t.csv";
+    trial.timeline().dump_csv(csv);
+    std::printf("CSV: %s\n", csv.c_str());
+
+    // Average batch-free duration: the paper's "events are many times
+    // longer than expected" observation, quantified.
+    std::uint64_t total_ns = 0;
+    std::uint64_t events = 0;
+    for (int t = 0; t < n; ++t) {
+      for (std::size_t i = 0; i < trial.timeline().event_count(t); ++i) {
+        const TimelineEvent& e = trial.timeline().events(t)[i];
+        if (e.kind == EventKind::kBatchFree) {
+          total_ns += e.t_end - e.t_start;
+          ++events;
+        }
+      }
+    }
+    avg_batch_ns[idx++] =
+        events == 0 ? 0 : static_cast<double>(total_ns) / events;
+  }
+
+  std::printf("\navg batch-free duration: %dt = %.0f us, %dt = %.0f us "
+              "(ratio %.2fx; >2x indicates the RBF amplification)\n",
+              lo, avg_batch_ns[0] / 1e3, hi, avg_batch_ns[1] / 1e3,
+              avg_batch_ns[0] > 0 ? avg_batch_ns[1] / avg_batch_ns[0] : 0.0);
+  return 0;
+}

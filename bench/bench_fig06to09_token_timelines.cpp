@@ -1,0 +1,67 @@
+// Figures 6-9: for each Token-EBR variant (Naive, Pass-first, Periodic,
+// Amortized), a timeline of batch frees (upper) and the per-epoch garbage
+// census (lower), at the highest thread count. Paper shape:
+//   Fig 6 (naive):      one serialized "curve" of batch frees; few epochs;
+//                       garbage grows without bound.
+//   Fig 7 (pass-first): concurrent frees, but batch lengths still grow.
+//   Fig 8 (periodic):   similar throughput, lower peak garbage.
+//   Fig 9 (amortized):  garbage pile-up gone; epoch count way up.
+#include "bench_common.hpp"
+
+using namespace emr;
+using namespace emr::bench;
+
+int main() {
+  harness::TrialConfig base = default_config();
+  base.nthreads = max_threads();
+  base.enable_timeline = true;
+  base.enable_garbage = true;
+  harness::print_banner(
+      "Figures 6-9: Token-EBR variants, timelines + garbage census",
+      "PPoPP'24 \"Are Your Epochs Too Epic?\" Figs. 6-9", describe(base));
+
+  harness::Table table({"variant", "Mops/s", "epochs(rotations)",
+                        "peak_garbage", "peak_MiB"});
+  struct Variant {
+    const char* fig;
+    const char* name;
+  };
+  for (const Variant v : {Variant{"Fig 6", "token_naive"},
+                          Variant{"Fig 7", "token_passfirst"},
+                          Variant{"Fig 8", "token"},
+                          Variant{"Fig 9", "token_af"}}) {
+    harness::TrialConfig cfg = base;
+    cfg.reclaimer = v.name;
+    if (std::string(v.name) == "token_af") {
+      // Fig 9 plots individual free calls longer than 0.1ms.
+      cfg.timeline_min_duration_ns = 100'000;
+    }
+    harness::Trial trial(cfg);
+    const harness::TrialResult r = trial.run();
+
+    std::printf("\n=== %s: %s ===\n", v.fig, v.name);
+    const EventKind kind = std::string(v.name) == "token_af"
+                               ? EventKind::kFreeCall
+                               : EventKind::kBatchFree;
+    std::fputs(trial.timeline().render_ascii(kind, 16, 100).c_str(),
+               stdout);
+    std::printf("garbage per epoch:\n");
+    std::fputs(trial.garbage().render_ascii(100, 6).c_str(), stdout);
+
+    table.add_row({v.name, harness::fixed(r.mops, 2),
+                   std::to_string(r.smr_stats.epochs_advanced),
+                   harness::human_count(static_cast<double>(
+                       trial.garbage().peak_garbage())),
+                   harness::fixed(static_cast<double>(r.peak_bytes_mapped) /
+                                      (1024.0 * 1024.0),
+                                  1)});
+    trial.timeline().dump_csv(harness::out_dir() + "fig0609_timeline_" +
+                              v.name + ".csv");
+    trial.garbage().dump_csv(harness::out_dir() + "fig0609_garbage_" +
+                             v.name + ".csv");
+  }
+  std::printf("\n");
+  table.print();
+  table.write_csv(harness::out_dir() + "fig06to09_token.csv");
+  return 0;
+}

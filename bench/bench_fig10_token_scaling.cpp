@@ -1,0 +1,38 @@
+// Figure 10 (a,b): throughput and peak memory vs threads for the Token-EBR
+// progression (naive -> pass-first -> periodic -> amortized), with DEBRA
+// for reference. Paper shape: the amortized variant drastically improves
+// both performance and peak memory at high thread counts.
+#include "bench_common.hpp"
+
+using namespace emr;
+using namespace emr::bench;
+
+int main() {
+  harness::TrialConfig base = default_config();
+  harness::print_banner(
+      "Figure 10: Token-EBR variants, throughput + peak memory vs threads",
+      "PPoPP'24 \"Are Your Epochs Too Epic?\" Fig. 10", describe(base));
+
+  harness::Table table({"threads", "reclaimer", "Mops/s", "min", "max",
+                        "peak_MiB"});
+  for (const char* reclaimer : {"token_naive", "token_passfirst", "token",
+                                "token_af", "debra"}) {
+    for (int n : default_thread_sweep()) {
+      harness::TrialConfig cfg = base;
+      cfg.reclaimer = reclaimer;
+      cfg.nthreads = n;
+      const harness::AggregateResult r = harness::run_trials(cfg);
+      table.add_row({std::to_string(n), reclaimer,
+                     harness::fixed(r.avg_mops, 2),
+                     harness::fixed(r.min_mops, 2),
+                     harness::fixed(r.max_mops, 2),
+                     harness::fixed(r.avg_peak_mib, 1)});
+      std::printf("  threads=%-3d %-16s %7.2f Mops/s  peak %.1f MiB\n", n,
+                  reclaimer, r.avg_mops, r.avg_peak_mib);
+    }
+  }
+  std::printf("\n");
+  table.print();
+  table.write_csv(harness::out_dir() + "fig10_token_scaling.csv");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 11a (Experiment 1): token_af and debra_af vs the state of the art
+// (he, hp, ibr, nbr, nbr+, qsbr, rcu, wfe, debra, token) and the leaky
+// baseline, across thread counts on the ABtree. Paper shape: token_af wins
+// everywhere (~1.7x over nbr+ on average, 7-9x over hp/he) and both AF
+// algorithms beat `none`.
+#include "bench_common.hpp"
+
+using namespace emr;
+using namespace emr::bench;
+
+int main() {
+  harness::TrialConfig base = default_config();
+  harness::print_banner(
+      "Figure 11a / Experiment 1: token_af vs the state of the art",
+      "PPoPP'24 \"Are Your Epochs Too Epic?\" Fig. 11a", describe(base));
+
+  const std::vector<std::string> reclaimers = {
+      "token_af", "debra_af", "debra", "token", "qsbr", "rcu",
+      "ibr",      "nbr",      "nbrplus", "he",  "hp",  "wfe", "none"};
+
+  harness::Table table({"threads", "reclaimer", "Mops/s", "min", "max"});
+  std::map<std::string, double> avg_over_threads;
+  for (const std::string& reclaimer : reclaimers) {
+    double sum = 0;
+    int count = 0;
+    for (int n : default_thread_sweep()) {
+      harness::TrialConfig cfg = base;
+      cfg.reclaimer = reclaimer;
+      cfg.nthreads = n;
+      const harness::AggregateResult r = harness::run_trials(cfg);
+      table.add_row({std::to_string(n), reclaimer,
+                     harness::fixed(r.avg_mops, 2),
+                     harness::fixed(r.min_mops, 2),
+                     harness::fixed(r.max_mops, 2)});
+      std::printf("  threads=%-3d %-10s %7.2f Mops/s\n", n,
+                  reclaimer.c_str(), r.avg_mops);
+      sum += r.avg_mops;
+      ++count;
+    }
+    avg_over_threads[reclaimer] = sum / count;
+  }
+
+  std::printf("\n");
+  table.print();
+  table.write_csv(harness::out_dir() + "fig11a_exp1.csv");
+
+  std::printf("\naverages across thread counts (paper: token_af ~1.7x the "
+              "next best, 7-9x hp/he, and faster than none):\n");
+  for (const auto& [name, avg] : avg_over_threads) {
+    std::printf("  %-10s %7.2f Mops/s  (token_af/%s = %.2fx)\n",
+                name.c_str(), avg, name.c_str(),
+                avg > 0 ? avg_over_threads["token_af"] / avg : 0.0);
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 11b (Experiment 2): ORIG vs AF versions of all ten reclamation
+// algorithms at the highest thread count, uniform batch size (paper: 32K).
+// Paper shape: AF improves nine of ten algorithms (up to 2.3x; hp/wfe
+// ~1.2x; he roughly unchanged).
+#include "bench_common.hpp"
+
+#include "smr/factory.hpp"
+
+using namespace emr;
+using namespace emr::bench;
+
+int main() {
+  harness::TrialConfig base = default_config();
+  base.nthreads = max_threads();
+  harness::print_banner(
+      "Figure 11b / Experiment 2: ORIG vs AF for ten reclaimers",
+      "PPoPP'24 \"Are Your Epochs Too Epic?\" Fig. 11b", describe(base));
+
+  harness::Table table({"reclaimer", "ORIG Mops/s", "AF Mops/s", "AF/ORIG"});
+  int improved = 0;
+  for (const std::string& base_name : smr::experiment2_reclaimers()) {
+    harness::TrialConfig cfg = base;
+    cfg.reclaimer = base_name;
+    const harness::AggregateResult orig = harness::run_trials(cfg);
+    cfg.reclaimer = base_name + "_af";
+    const harness::AggregateResult af = harness::run_trials(cfg);
+    const double ratio =
+        orig.avg_mops > 0 ? af.avg_mops / orig.avg_mops : 0.0;
+    if (ratio > 1.0) ++improved;
+    table.add_row({base_name, harness::fixed(orig.avg_mops, 2),
+                   harness::fixed(af.avg_mops, 2),
+                   harness::fixed(ratio, 2) + "x"});
+    std::printf("  %-9s ORIG %7.2f  AF %7.2f  (%.2fx)\n", base_name.c_str(),
+                orig.avg_mops, af.avg_mops, ratio);
+  }
+  std::printf("\n");
+  table.print();
+  table.write_csv(harness::out_dir() + "fig11b_exp2.csv");
+  std::printf("\n%d of 10 algorithms improved by AF "
+              "(paper: 9 of 10, up to 2.3x)\n",
+              improved);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Supplementary Figure 12: ORIG vs AF thread sweeps for each reclaimer on
+// the ABtree (one panel per algorithm in the paper; one table section per
+// algorithm here).
+#include "bench_common.hpp"
+
+#include "smr/factory.hpp"
+
+using namespace emr;
+using namespace emr::bench;
+
+int main() {
+  harness::TrialConfig base = default_config();
+  harness::print_banner(
+      "Figure 12: ORIG vs AF across threads, per reclaimer (ABtree)",
+      "PPoPP'24 \"Are Your Epochs Too Epic?\" Fig. 12", describe(base));
+
+  harness::Table table(
+      {"reclaimer", "threads", "ORIG Mops/s", "AF Mops/s", "AF/ORIG"});
+  for (const std::string& name : smr::experiment2_reclaimers()) {
+    for (int n : default_thread_sweep()) {
+      harness::TrialConfig cfg = base;
+      cfg.nthreads = n;
+      cfg.reclaimer = name;
+      const harness::AggregateResult orig = harness::run_trials(cfg);
+      cfg.reclaimer = name + "_af";
+      const harness::AggregateResult af = harness::run_trials(cfg);
+      const double ratio =
+          orig.avg_mops > 0 ? af.avg_mops / orig.avg_mops : 0.0;
+      table.add_row({name, std::to_string(n),
+                     harness::fixed(orig.avg_mops, 2),
+                     harness::fixed(af.avg_mops, 2),
+                     harness::fixed(ratio, 2) + "x"});
+      std::printf("  %-9s threads=%-3d ORIG %7.2f  AF %7.2f  (%.2fx)\n",
+                  name.c_str(), n, orig.avg_mops, af.avg_mops, ratio);
+    }
+  }
+  std::printf("\n");
+  table.print();
+  table.write_csv(harness::out_dir() + "fig12_orig_vs_af.csv");
+  return 0;
+}

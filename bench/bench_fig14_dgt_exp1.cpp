@@ -1,0 +1,38 @@
+// Supplementary Figure 14: token_af vs all reclamation techniques across
+// threads on the DGT tree (the Experiment 1 comparison repeated on the
+// second data structure).
+#include "bench_common.hpp"
+
+using namespace emr;
+using namespace emr::bench;
+
+int main() {
+  harness::TrialConfig base = default_config();
+  base.ds = "dgt";
+  base.keyrange = std::max<std::uint64_t>(64, base.keyrange / 10);
+  harness::print_banner(
+      "Figure 14: token_af vs all reclaimers across threads (DGT tree)",
+      "PPoPP'24 \"Are Your Epochs Too Epic?\" Fig. 14", describe(base));
+
+  const std::vector<std::string> reclaimers = {
+      "token_af", "debra_af", "debra", "token", "qsbr", "rcu", "ibr",
+      "nbr",      "nbrplus",  "he",    "hp",    "wfe",  "none"};
+
+  harness::Table table({"threads", "reclaimer", "Mops/s"});
+  for (const std::string& reclaimer : reclaimers) {
+    for (int n : default_thread_sweep()) {
+      harness::TrialConfig cfg = base;
+      cfg.reclaimer = reclaimer;
+      cfg.nthreads = n;
+      const harness::AggregateResult r = harness::run_trials(cfg);
+      table.add_row({std::to_string(n), reclaimer,
+                     harness::fixed(r.avg_mops, 2)});
+      std::printf("  threads=%-3d %-10s %7.2f Mops/s\n", n,
+                  reclaimer.c_str(), r.avg_mops);
+    }
+  }
+  std::printf("\n");
+  table.print();
+  table.write_csv(harness::out_dir() + "fig14_dgt_exp1.csv");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Supplementary Figures 18-29: DEBRA timeline graphs + garbage census for
+// each allocator model (JE, TC, MI) at each thread count in the sweep.
+// Paper shape: JE and TC show lengthening batch-free boxes as threads
+// increase; MI's boxes stay short at every thread count.
+#include "bench_common.hpp"
+
+using namespace emr;
+using namespace emr::bench;
+
+int main() {
+  harness::TrialConfig base = default_config();
+  base.reclaimer = "debra";
+  base.enable_timeline = true;
+  base.enable_garbage = true;
+  harness::print_banner(
+      "Figures 18-29: DEBRA timelines for JE/TC/MI at each thread count",
+      "PPoPP'24 \"Are Your Epochs Too Epic?\" Figs. 18-29", describe(base));
+
+  harness::Table table({"alloc", "threads", "Mops/s", "batch_events",
+                        "avg_batch_us", "peak_garbage"});
+  for (const char* alloc : {"je", "tc", "mi"}) {
+    for (int n : default_thread_sweep()) {
+      harness::TrialConfig cfg = base;
+      cfg.allocator = alloc;
+      cfg.nthreads = n;
+      harness::Trial trial(cfg);
+      const harness::TrialResult r = trial.run();
+
+      std::uint64_t total_ns = 0, events = 0;
+      for (int t = 0; t < n; ++t) {
+        for (std::size_t i = 0; i < trial.timeline().event_count(t); ++i) {
+          const TimelineEvent& e = trial.timeline().events(t)[i];
+          if (e.kind == EventKind::kBatchFree) {
+            total_ns += e.t_end - e.t_start;
+            ++events;
+          }
+        }
+      }
+      const double avg_us =
+          events > 0 ? static_cast<double>(total_ns) / events / 1e3 : 0;
+      table.add_row({alloc, std::to_string(n), harness::fixed(r.mops, 2),
+                     std::to_string(events), harness::fixed(avg_us, 1),
+                     harness::human_count(static_cast<double>(
+                         trial.garbage().peak_garbage()))});
+      std::printf("\n=== %s, %d threads (%.2f Mops/s, avg batch %.1f us) "
+                  "===\n",
+                  alloc, n, r.mops, avg_us);
+      std::fputs(
+          trial.timeline().render_ascii(EventKind::kBatchFree, 12, 100)
+              .c_str(),
+          stdout);
+      trial.timeline().dump_csv(harness::out_dir() + "fig1829_" + alloc +
+                                "_" + std::to_string(n) + "t.csv");
+    }
+  }
+  std::printf("\n");
+  table.print();
+  table.write_csv(harness::out_dir() + "fig18to29_summary.csv");
+  return 0;
+}

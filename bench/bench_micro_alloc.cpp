@@ -1,0 +1,93 @@
+// google-benchmark micro suite for the allocator models: local
+// allocate/free pairs, remote frees, tcache flush cost, and the mimalloc
+// cross-thread push (Appendix B mechanics).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "alloc/factory.hpp"
+
+namespace {
+
+using emr::alloc::AllocConfig;
+using emr::alloc::Allocator;
+using emr::alloc::make_allocator;
+
+AllocConfig cfg_for(int threads) {
+  AllocConfig cfg;
+  cfg.max_threads = threads;
+  return cfg;
+}
+
+void BM_LocalAllocFree(benchmark::State& state, const char* name) {
+  auto a = make_allocator(name, cfg_for(2));
+  for (auto _ : state) {
+    void* p = a->allocate(0, 240);
+    benchmark::DoNotOptimize(p);
+    a->deallocate(0, p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_LocalAllocFree, je, "je");
+BENCHMARK_CAPTURE(BM_LocalAllocFree, tc, "tc");
+BENCHMARK_CAPTURE(BM_LocalAllocFree, mi, "mi");
+BENCHMARK_CAPTURE(BM_LocalAllocFree, system, "system");
+
+// Remote pattern: thread 0 allocates, thread 1 frees (measured side).
+void BM_RemoteFree(benchmark::State& state, const char* name) {
+  auto a = make_allocator(name, cfg_for(2));
+  std::vector<void*> stash;
+  stash.reserve(4096);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 1024; ++i) stash.push_back(a->allocate(0, 240));
+    state.ResumeTiming();
+    for (void* p : stash) a->deallocate(1, p);
+    stash.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK_CAPTURE(BM_RemoteFree, je, "je");
+BENCHMARK_CAPTURE(BM_RemoteFree, tc, "tc");
+BENCHMARK_CAPTURE(BM_RemoteFree, mi, "mi");
+
+// Batched remote free (the RBF pattern) vs spread-out remote free on the
+// JE model: the batched variant repeatedly overflows the tcache.
+void BM_BatchedRemoteFree(benchmark::State& state) {
+  auto a = make_allocator("je", cfg_for(2));
+  std::vector<void*> stash;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 4096; ++i) stash.push_back(a->allocate(0, 240));
+    state.ResumeTiming();
+    for (void* p : stash) a->deallocate(1, p);  // one huge batch
+    stash.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_BatchedRemoteFree);
+
+void BM_AmortizedRemoteFree(benchmark::State& state) {
+  auto a = make_allocator("je", cfg_for(2));
+  std::vector<void*> stash;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 4096; ++i) stash.push_back(a->allocate(0, 240));
+    state.ResumeTiming();
+    // Interleave frees with allocations: the tcache recycles locally.
+    for (void* p : stash) {
+      a->deallocate(1, p);
+      void* q = a->allocate(1, 240);
+      benchmark::DoNotOptimize(q);
+      a->deallocate(1, q);
+    }
+    stash.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_AmortizedRemoteFree);
+
+}  // namespace
+
+BENCHMARK_MAIN();

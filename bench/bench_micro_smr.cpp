@@ -1,0 +1,97 @@
+// google-benchmark micro suite for reclaimer primitives: begin/end op
+// overhead per algorithm and the retire-to-free pipeline cost.
+#include <benchmark/benchmark.h>
+
+#include "alloc/factory.hpp"
+#include "smr/factory.hpp"
+
+namespace {
+
+using namespace emr;
+
+struct MicroWorld {
+  std::unique_ptr<alloc::Allocator> allocator;
+  smr::SmrContext ctx;
+  smr::SmrConfig cfg;
+  smr::ReclaimerBundle bundle;
+
+  explicit MicroWorld(const std::string& name) {
+    alloc::AllocConfig acfg;
+    acfg.max_threads = 2;
+    allocator = alloc::make_allocator("je", acfg);
+    ctx.allocator = allocator.get();
+    cfg.num_threads = 2;
+    cfg.batch_size = 256;
+    bundle = smr::make_reclaimer(name, ctx, cfg);
+  }
+};
+
+void BM_BeginEndOp(benchmark::State& state, const char* name) {
+  MicroWorld w(name);
+  smr::Reclaimer& r = *w.bundle.reclaimer;
+  for (auto _ : state) {
+    r.begin_op(0);
+    r.end_op(0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_BeginEndOp, none, "none");
+BENCHMARK_CAPTURE(BM_BeginEndOp, debra, "debra");
+BENCHMARK_CAPTURE(BM_BeginEndOp, qsbr, "qsbr");
+BENCHMARK_CAPTURE(BM_BeginEndOp, rcu, "rcu");
+BENCHMARK_CAPTURE(BM_BeginEndOp, token, "token");
+BENCHMARK_CAPTURE(BM_BeginEndOp, hp, "hp");
+BENCHMARK_CAPTURE(BM_BeginEndOp, he, "he");
+BENCHMARK_CAPTURE(BM_BeginEndOp, ibr, "ibr");
+BENCHMARK_CAPTURE(BM_BeginEndOp, wfe, "wfe");
+BENCHMARK_CAPTURE(BM_BeginEndOp, nbr, "nbr");
+
+void BM_ProtectLoad(benchmark::State& state, const char* name) {
+  MicroWorld w(name);
+  smr::Reclaimer& r = *w.bundle.reclaimer;
+  void* node = r.alloc_node(0, 64);
+  std::atomic<void*> src{node};
+  r.begin_op(0);
+  for (auto _ : state) {
+    void* p = r.protect(
+        0, 0, [](const void* s) {
+          return static_cast<const std::atomic<void*>*>(s)->load(
+              std::memory_order_acquire);
+        },
+        &src);
+    benchmark::DoNotOptimize(p);
+  }
+  r.end_op(0);
+  r.dealloc_unpublished(0, node);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_ProtectLoad, debra, "debra");
+BENCHMARK_CAPTURE(BM_ProtectLoad, hp, "hp");
+BENCHMARK_CAPTURE(BM_ProtectLoad, he, "he");
+BENCHMARK_CAPTURE(BM_ProtectLoad, ibr, "ibr");
+BENCHMARK_CAPTURE(BM_ProtectLoad, wfe, "wfe");
+
+void BM_RetirePipeline(benchmark::State& state, const char* name) {
+  MicroWorld w(name);
+  smr::Reclaimer& r = *w.bundle.reclaimer;
+  for (auto _ : state) {
+    r.begin_op(0);
+    r.retire(0, r.alloc_node(0, 240));
+    r.end_op(0);
+    r.begin_op(1);  // second thread keeps epochs moving
+    r.end_op(1);
+  }
+  r.flush_all();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_RetirePipeline, debra, "debra");
+BENCHMARK_CAPTURE(BM_RetirePipeline, debra_af, "debra_af");
+BENCHMARK_CAPTURE(BM_RetirePipeline, token, "token");
+BENCHMARK_CAPTURE(BM_RetirePipeline, token_af, "token_af");
+BENCHMARK_CAPTURE(BM_RetirePipeline, qsbr, "qsbr");
+BENCHMARK_CAPTURE(BM_RetirePipeline, ibr, "ibr");
+BENCHMARK_CAPTURE(BM_RetirePipeline, hp, "hp");
+
+}  // namespace
+
+BENCHMARK_MAIN();

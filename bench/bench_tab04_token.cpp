@@ -1,0 +1,36 @@
+// Table 4: analysis of the Token-EBR variants at the highest thread count:
+// ops/s, % time freeing, number of objects freed. Paper shape: naive frees
+// almost nothing (3.3%, 7M); pass-first/periodic spend ~half their time
+// freeing; amortized frees the most objects with modest free time and the
+// highest throughput.
+#include "bench_common.hpp"
+
+using namespace emr;
+using namespace emr::bench;
+
+int main() {
+  harness::TrialConfig base = default_config();
+  base.nthreads = max_threads();
+  harness::print_banner("Table 4: Token-EBR variant analysis",
+                        "PPoPP'24 \"Are Your Epochs Too Epic?\" Table 4",
+                        describe(base));
+
+  harness::Table table({"algorithm", "ops/s", "%free", "freed"});
+  for (const char* reclaimer :
+       {"token_naive", "token_passfirst", "token", "token_af"}) {
+    harness::TrialConfig cfg = base;
+    cfg.reclaimer = reclaimer;
+    harness::Trial trial(cfg);
+    const harness::TrialResult r = trial.run();
+    table.add_row({reclaimer, harness::human_count(r.mops * 1e6),
+                   harness::fixed(r.pct_free, 1),
+                   harness::human_count(
+                       static_cast<double>(r.freed_in_window))});
+  }
+  table.print();
+  table.write_csv(harness::out_dir() + "tab04_token.csv");
+  std::printf("\npaper (192t): naive 73.7M/3.3%%/7M; pass-first "
+              "52.4M/45.4%%/98M; periodic 54.4M/47.1%%/118M; amortized "
+              "123.7M/14.7%%/323M\n");
+  return 0;
+}
