@@ -1,0 +1,20 @@
+// Allocator factory: "je" | "tc" | "mi" | "system".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+
+namespace emr::alloc {
+
+/// Builds the named allocator model. Throws std::invalid_argument for an
+/// unknown name.
+std::unique_ptr<Allocator> make_allocator(const std::string& name,
+                                          const AllocConfig& cfg);
+
+/// The model names make_allocator accepts.
+const std::vector<std::string>& allocator_names();
+
+}  // namespace emr::alloc

@@ -12,6 +12,7 @@
 //   EMR_OUT      - artifact directory for CSV/timeline dumps
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -37,22 +38,10 @@ inline harness::TrialConfig default_config() {
   // visible at laptop scale (DESIGN.md, substitution table).
   cfg.alloc.remote_free_penalty_ns = 150;
 
-  // Apply env overrides on top.
-  harness::TrialConfig env = harness::config_from_env();
-  cfg.ds = env.ds;
-  cfg.reclaimer = env.reclaimer;
-  cfg.allocator = env.allocator;
-  cfg.keyrange = env_i64("EMR_KEYRANGE", 0) > 0 ? env.keyrange : cfg.keyrange;
-  cfg.measure_ms = env_i64("EMR_MS", 0) > 0 ? env.measure_ms : cfg.measure_ms;
-  cfg.trials = env_i64("EMR_TRIALS", 0) > 0 ? env.trials : cfg.trials;
-  cfg.seed = env.seed;
-  cfg.smr.batch_size = env_i64("EMR_BATCH", 0) > 0 ? env.smr.batch_size
-                                                   : cfg.smr.batch_size;
-  cfg.smr.af_drain_per_op = env.smr.af_drain_per_op;
-  cfg.alloc.remote_free_penalty_ns =
-      env_i64("EMR_REMOTE_PENALTY_NS", -1) >= 0
-          ? env.alloc.remote_free_penalty_ns
-          : cfg.alloc.remote_free_penalty_ns;
+  // Apply env overrides on top. apply_env_overrides only touches fields
+  // whose EMR_* variable is actually present, so the laptop defaults
+  // above win whenever the environment is silent.
+  harness::apply_env_overrides(cfg);
   return cfg;
 }
 

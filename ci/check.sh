@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI smoke: configure + build + ctest + one figure bench end-to-end at
+# laptop scale. Mirrors the tier-1 verify line in ROADMAP.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j"$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+
+# End-to-end: the Figure 1 sweep must produce a non-empty table + CSV.
+export EMR_MS="${EMR_MS:-30}" EMR_THREADS="${EMR_THREADS:-1 2}" \
+       EMR_TRIALS=1 EMR_KEYRANGE="${EMR_KEYRANGE:-4096}" \
+       EMR_OUT="$BUILD_DIR/emr_out"
+"$BUILD_DIR/bench_fig01_scaling"
+test -s "$BUILD_DIR/emr_out/fig01_scaling.csv"
+echo "ci/check.sh: OK"

@@ -1,0 +1,86 @@
+#include "core/garbage.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace emr {
+
+void GarbageCensus::record(std::uint64_t epoch, std::uint64_t pending) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = by_epoch_.try_emplace(epoch, pending);
+  if (!inserted) it->second = std::max(it->second, pending);
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> GarbageCensus::aggregate()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {by_epoch_.begin(), by_epoch_.end()};
+}
+
+std::uint64_t GarbageCensus::peak_garbage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t peak = 0;
+  for (const auto& [epoch, g] : by_epoch_) {
+    (void)epoch;
+    peak = std::max(peak, g);
+  }
+  return peak;
+}
+
+std::string GarbageCensus::render_ascii(int width, int height) const {
+  const auto agg = aggregate();
+  width = std::max(width, 10);
+  height = std::max(height, 2);
+  if (agg.empty()) return "(no epochs recorded)\n";
+
+  std::uint64_t peak = 1;
+  for (const auto& [epoch, g] : agg) {
+    (void)epoch;
+    peak = std::max(peak, g);
+  }
+
+  // Bin epochs (in recorded order) into `width` columns; column value is
+  // the max pending within the bin.
+  std::vector<std::uint64_t> cols(static_cast<std::size_t>(width), 0);
+  for (std::size_t i = 0; i < agg.size(); ++i) {
+    const std::size_t c = i * static_cast<std::size_t>(width) / agg.size();
+    cols[c] = std::max(cols[c], agg[i].second);
+  }
+
+  std::string out;
+  for (int row = height; row >= 1; --row) {
+    const std::uint64_t threshold =
+        peak * static_cast<std::uint64_t>(row) /
+        static_cast<std::uint64_t>(height);
+    std::string line(static_cast<std::size_t>(width), ' ');
+    for (int c = 0; c < width; ++c) {
+      if (cols[static_cast<std::size_t>(c)] >= std::max<std::uint64_t>(
+                                                   threshold, 1)) {
+        line[static_cast<std::size_t>(c)] = '#';
+      }
+    }
+    out += line;
+    out += '\n';
+  }
+  char foot[96];
+  std::snprintf(foot, sizeof(foot),
+                "^ pending garbage, peak=%llu over %zu epochs\n",
+                static_cast<unsigned long long>(peak), agg.size());
+  out += std::string(static_cast<std::size_t>(width), '-') + '\n' + foot;
+  return out;
+}
+
+bool GarbageCensus::dump_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("epoch,pending_garbage\n", f);
+  for (const auto& [epoch, g] : aggregate()) {
+    std::fprintf(f, "%llu,%llu\n", static_cast<unsigned long long>(epoch),
+                 static_cast<unsigned long long>(g));
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace emr

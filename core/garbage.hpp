@@ -1,0 +1,53 @@
+// Per-epoch unreclaimed-garbage census (the paper's Figure 4 and the
+// lower panels of Figures 6-9): at every epoch change the reclaimer
+// reports how many retired-but-unfreed objects exist globally.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace emr {
+
+class GarbageCensus {
+ public:
+  GarbageCensus() = default;
+
+  void reset(bool enabled) {
+    std::lock_guard<std::mutex> lock(mu_);
+    by_epoch_.clear();
+    enabled_.store(enabled, std::memory_order_release);
+  }
+
+  void disarm() { enabled_.store(false, std::memory_order_release); }
+
+  /// Lock-free: epoch-advance paths check this before paying for a
+  /// stats snapshot and the census mutex.
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  /// Records the pending-garbage count observed at `epoch`. Multiple
+  /// observations of one epoch keep the maximum (the peak is the story).
+  void record(std::uint64_t epoch, std::uint64_t pending);
+
+  /// (epoch, pending) sorted by epoch.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> aggregate() const;
+
+  std::uint64_t peak_garbage() const;
+
+  /// Bar chart, `width` columns of epochs x `height` rows of magnitude.
+  std::string render_ascii(int width, int height) const;
+
+  /// Writes "epoch,pending_garbage". Returns success.
+  bool dump_csv(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::uint64_t> by_epoch_;
+  std::atomic<bool> enabled_{false};
+};
+
+}  // namespace emr

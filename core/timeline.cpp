@@ -1,0 +1,116 @@
+#include "core/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace emr {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kBatchFree:
+      return "batch_free";
+    case EventKind::kFreeCall:
+      return "free_call";
+    case EventKind::kEpochAdvance:
+      return "epoch_advance";
+  }
+  return "unknown";
+}
+
+void Timeline::reset(int nthreads, std::uint64_t t_origin,
+                     std::uint64_t min_duration_ns, bool enabled) {
+  lanes_.assign(static_cast<std::size_t>(std::max(nthreads, 0)), Lane{});
+  t_origin_ = t_origin;
+  min_duration_ns_ = min_duration_ns;
+  enabled_ = enabled && nthreads > 0;
+}
+
+void Timeline::record(int tid, EventKind kind, std::uint64_t t_start,
+                      std::uint64_t t_end) {
+  if (!enabled_) return;
+  if (tid < 0 || static_cast<std::size_t>(tid) >= lanes_.size()) return;
+  if (kind != EventKind::kEpochAdvance &&
+      t_end - t_start < min_duration_ns_) {
+    return;
+  }
+  lanes_[static_cast<std::size_t>(tid)].events.push_back(
+      TimelineEvent{kind, t_start, t_end});
+}
+
+std::size_t Timeline::event_count(int tid) const {
+  if (tid < 0 || static_cast<std::size_t>(tid) >= lanes_.size()) return 0;
+  return lanes_[static_cast<std::size_t>(tid)].events.size();
+}
+
+const std::vector<TimelineEvent>& Timeline::events(int tid) const {
+  static const std::vector<TimelineEvent> kEmpty;
+  if (tid < 0 || static_cast<std::size_t>(tid) >= lanes_.size()) {
+    return kEmpty;
+  }
+  return lanes_[static_cast<std::size_t>(tid)].events;
+}
+
+std::string Timeline::render_ascii(EventKind kind, int max_rows,
+                                   int width) const {
+  width = std::max(width, 10);
+  std::uint64_t t_max = t_origin_;
+  for (const Lane& lane : lanes_) {
+    for (const TimelineEvent& e : lane.events) {
+      t_max = std::max(t_max, e.t_end);
+    }
+  }
+  const std::uint64_t span = std::max<std::uint64_t>(t_max - t_origin_, 1);
+  const int rows =
+      std::min<int>(max_rows, static_cast<int>(lanes_.size()));
+
+  std::string out;
+  char head[128];
+  std::snprintf(head, sizeof(head),
+                "time -> %.1f ms total, one row per thread (%d of %zu "
+                "lanes)\n",
+                static_cast<double>(span) / 1e6, rows, lanes_.size());
+  out += head;
+
+  for (int t = 0; t < rows; ++t) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    for (const TimelineEvent& e : lanes_[static_cast<std::size_t>(t)].events) {
+      const std::uint64_t s = e.t_start < t_origin_ ? 0 : e.t_start - t_origin_;
+      const std::uint64_t f = e.t_end < t_origin_ ? 0 : e.t_end - t_origin_;
+      int c0 = static_cast<int>(s * static_cast<std::uint64_t>(width) / span);
+      int c1 = static_cast<int>(f * static_cast<std::uint64_t>(width) / span);
+      c0 = std::clamp(c0, 0, width - 1);
+      c1 = std::clamp(c1, 0, width - 1);
+      if (e.kind == kind) {
+        for (int c = c0; c <= c1; ++c) row[static_cast<std::size_t>(c)] = '#';
+      } else if (e.kind == EventKind::kEpochAdvance) {
+        if (row[static_cast<std::size_t>(c0)] == '.') {
+          row[static_cast<std::size_t>(c0)] = '|';
+        }
+      }
+    }
+    char label[16];
+    std::snprintf(label, sizeof(label), "t%-3d ", t);
+    out += label;
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+bool Timeline::dump_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("tid,kind,t_start_ns,t_end_ns,duration_ns\n", f);
+  for (std::size_t t = 0; t < lanes_.size(); ++t) {
+    for (const TimelineEvent& e : lanes_[t].events) {
+      std::fprintf(f, "%zu,%s,%llu,%llu,%llu\n", t, event_kind_name(e.kind),
+                   static_cast<unsigned long long>(e.t_start - t_origin_),
+                   static_cast<unsigned long long>(e.t_end - t_origin_),
+                   static_cast<unsigned long long>(e.t_end - e.t_start));
+    }
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace emr

@@ -1,0 +1,69 @@
+// Per-thread event timelines: the instrument behind the paper's Figures
+// 2-3 and 6-9 (boxes for batch frees / long free calls, ticks for epoch
+// advances). Each thread writes only its own lane, so recording is
+// lock-free; rendering and CSV dumps happen after the trial.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace emr {
+
+enum class EventKind : std::uint8_t {
+  kBatchFree,     // freeing one limbo bag (start..end spans the whole bag)
+  kFreeCall,      // a single allocator free call
+  kEpochAdvance,  // instantaneous: the global epoch moved
+};
+
+const char* event_kind_name(EventKind k);
+
+struct TimelineEvent {
+  EventKind kind;
+  std::uint64_t t_start;  // ns, relative clock (same origin for all lanes)
+  std::uint64_t t_end;    // ns; == t_start for instantaneous events
+};
+
+class Timeline {
+ public:
+  Timeline() = default;
+
+  /// (Re)arms the timeline. When `enabled` is false, record() is a no-op
+  /// and lanes stay empty. Durations below `min_duration_ns` are dropped
+  /// (except kEpochAdvance ticks, which always land).
+  void reset(int nthreads, std::uint64_t t_origin,
+             std::uint64_t min_duration_ns, bool enabled);
+
+  /// Stops accepting events (e.g. during teardown frees).
+  void disarm() { enabled_ = false; }
+
+  bool enabled() const { return enabled_; }
+  std::uint64_t origin() const { return t_origin_; }
+
+  void record(int tid, EventKind kind, std::uint64_t t_start,
+              std::uint64_t t_end);
+
+  std::size_t event_count(int tid) const;
+  const std::vector<TimelineEvent>& events(int tid) const;
+  int lane_count() const { return static_cast<int>(lanes_.size()); }
+
+  /// One character row per thread lane (up to `max_rows`), `width` columns
+  /// spanning the recorded interval: '#' where an event of `kind` is in
+  /// flight, '|' at epoch advances, '.' elsewhere.
+  std::string render_ascii(EventKind kind, int max_rows, int width) const;
+
+  /// Writes "tid,kind,t_start_ns,t_end_ns,duration_ns". Returns success.
+  bool dump_csv(const std::string& path) const;
+
+ private:
+  // Lanes are written concurrently by distinct threads; keep them apart.
+  struct alignas(64) Lane {
+    std::vector<TimelineEvent> events;
+  };
+  std::vector<Lane> lanes_;
+  std::uint64_t t_origin_ = 0;
+  std::uint64_t min_duration_ns_ = 0;
+  bool enabled_ = false;
+};
+
+}  // namespace emr

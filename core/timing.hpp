@@ -1,0 +1,31 @@
+// Monotonic time and the busy-wait used to model fixed hardware costs
+// (e.g. the cross-socket cache-line transfer a remote free pays).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace emr {
+
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Burn roughly `ns` nanoseconds of CPU. Used by the allocator models to
+/// charge costs the laptop-scale run cannot observe natively (DESIGN
+/// substitution: the four-socket remote-free latency).
+inline void spin_for_ns(std::uint64_t ns) {
+  if (ns == 0) return;
+  const std::uint64_t deadline = now_ns() + ns;
+  while (now_ns() < deadline) {
+    // Relax the pipeline; keeps the spin from starving SMT siblings.
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+}  // namespace emr

@@ -1,0 +1,104 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/env.hpp"
+
+namespace emr::harness {
+
+std::string fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", std::max(precision, 0), v);
+  return buf;
+}
+
+std::string human_count(double v) {
+  const char* suffix = "";
+  double scaled = v;
+  if (std::fabs(v) >= 1e9) {
+    scaled = v / 1e9;
+    suffix = "G";
+  } else if (std::fabs(v) >= 1e6) {
+    scaled = v / 1e6;
+    suffix = "M";
+  } else if (std::fabs(v) >= 1e3) {
+    scaled = v / 1e3;
+    suffix = "K";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%s", scaled, suffix);
+  return buf;
+}
+
+void print_banner(const std::string& title, const std::string& source,
+                  const std::string& config) {
+  const std::size_t width =
+      std::max({title.size(), source.size(), config.size()}) + 2;
+  const std::string bar(width + 2, '=');
+  std::printf("%s\n %s\n %s\n %s\n%s\n", bar.c_str(), title.c_str(),
+              source.c_str(), config.c_str(), bar.c_str());
+}
+
+std::string out_dir() {
+  std::string dir = env_str("EMR_OUT", "emr_out");
+  if (dir.empty()) dir = "emr_out";
+  if (dir.back() != '/') dir += '/';
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort
+  return dir;
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s%s", static_cast<int>(widths[c]), row[c].c_str(),
+                  c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  std::printf("%s\n", std::string(total > 2 ? total - 2 : total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      // Cells are simple tokens; quote defensively if a comma sneaks in.
+      const bool quote = row[c].find(',') != std::string::npos;
+      std::fprintf(f, "%s%s%s%s", quote ? "\"" : "", row[c].c_str(),
+                   quote ? "\"" : "", c + 1 == row.size() ? "\n" : ",");
+    }
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace emr::harness

@@ -1,0 +1,42 @@
+// Result presentation: aligned console tables, CSV artifacts, banners,
+// and the EMR_OUT artifact directory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace emr::harness {
+
+/// Fixed-point formatting, e.g. fixed(3.14159, 2) == "3.14".
+std::string fixed(double v, int precision);
+
+/// Compact magnitudes: 950 -> "950", 1.2e6 -> "1.20M", 3.4e9 -> "3.40G".
+std::string human_count(double v);
+
+/// Three-line header every bench prints before its sweep.
+void print_banner(const std::string& title, const std::string& source,
+                  const std::string& config);
+
+/// Artifact directory (EMR_OUT, default "emr_out/"), created on first
+/// use, always returned with a trailing slash.
+std::string out_dir();
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> row);
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Prints headers + rows with column alignment.
+  void print() const;
+
+  /// Writes headers + rows as CSV. Returns success.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace emr::harness

@@ -1,0 +1,416 @@
+#include "harness/workload.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "alloc/factory.hpp"
+#include "core/env.hpp"
+#include "core/timing.hpp"
+#include "smr/factory.hpp"
+#include "smr/free_executor.hpp"
+
+namespace emr::harness {
+
+// ------------------------------------------------------------- env glue
+
+void apply_env_overrides(TrialConfig& cfg) {
+  cfg.ds = env_str("EMR_DS", cfg.ds);
+  cfg.reclaimer = env_str("EMR_RECLAIMER", cfg.reclaimer);
+  cfg.allocator = env_str("EMR_ALLOC", cfg.allocator);
+  if (env_has("EMR_KEYRANGE")) {
+    cfg.keyrange = std::max<std::uint64_t>(
+        env_u64("EMR_KEYRANGE", cfg.keyrange), 2);
+  }
+  if (env_has("EMR_MS")) {
+    cfg.measure_ms = static_cast<int>(
+        std::max<long long>(env_i64("EMR_MS", cfg.measure_ms), 1));
+  }
+  if (env_has("EMR_TRIALS")) {
+    cfg.trials = static_cast<int>(
+        std::max<long long>(env_i64("EMR_TRIALS", cfg.trials), 1));
+  }
+  if (env_has("EMR_SEED")) cfg.seed = env_u64("EMR_SEED", cfg.seed);
+  if (env_has("EMR_BATCH")) {
+    cfg.smr.batch_size = static_cast<std::size_t>(
+        std::max<std::uint64_t>(env_u64("EMR_BATCH", cfg.smr.batch_size), 1));
+  }
+  if (env_has("EMR_AF_DRAIN")) {
+    cfg.smr.af_drain_per_op = static_cast<std::size_t>(std::max<std::uint64_t>(
+        env_u64("EMR_AF_DRAIN", cfg.smr.af_drain_per_op), 1));
+  }
+  if (env_has("EMR_REMOTE_PENALTY_NS")) {
+    cfg.alloc.remote_free_penalty_ns =
+        env_u64("EMR_REMOTE_PENALTY_NS", cfg.alloc.remote_free_penalty_ns);
+  }
+  if (env_has("EMR_TCACHE_CAP")) {
+    cfg.alloc.tcache_cap = static_cast<std::size_t>(std::max<std::uint64_t>(
+        env_u64("EMR_TCACHE_CAP", cfg.alloc.tcache_cap), 1));
+  }
+  if (env_has("EMR_FLUSH_FRACTION")) {
+    cfg.alloc.flush_fraction =
+        env_f64("EMR_FLUSH_FRACTION", cfg.alloc.flush_fraction);
+  }
+  if (env_has("EMR_DEFERRED_FLUSH")) {
+    cfg.alloc.deferred_flush = env_i64("EMR_DEFERRED_FLUSH", 0) != 0;
+  }
+  if (env_has("EMR_INSERT_FRAC")) {
+    cfg.insert_frac = env_f64("EMR_INSERT_FRAC", cfg.insert_frac);
+  }
+  if (env_has("EMR_ERASE_FRAC")) {
+    cfg.erase_frac = env_f64("EMR_ERASE_FRAC", cfg.erase_frac);
+  }
+}
+
+TrialConfig config_from_env() {
+  TrialConfig cfg;
+  apply_env_overrides(cfg);
+  return cfg;
+}
+
+std::vector<int> thread_sweep_from_env(std::vector<int> def) {
+  std::vector<int> parsed = env_int_list("EMR_THREADS");
+  if (parsed.empty()) return def;
+  for (int& n : parsed) n = std::clamp(n, 1, 1024);
+  return parsed;
+}
+
+std::size_t node_size_for_ds(const std::string& ds) {
+  if (ds == "occtree") return 64;   // compact OCC nodes: light alloc traffic
+  if (ds == "dgt") return 96;       // external BST with ticket-lock word
+  return 240;                       // abtree: the paper's fat B-tree nodes
+}
+
+// -------------------------------------------------------------- opstream
+
+OpStream::OpStream(std::uint64_t seed, int tid, double insert_frac,
+                   double erase_frac, std::uint64_t keyrange)
+    : rng_(seed ^ (static_cast<std::uint64_t>(tid) + 1) *
+                      0x9E3779B97F4A7C15ULL),
+      insert_frac_(insert_frac),
+      erase_frac_(erase_frac),
+      keyrange_(std::max<std::uint64_t>(keyrange, 1)) {}
+
+Op OpStream::next() {
+  const double r = rng_.next_double();
+  Op op;
+  if (r < insert_frac_) {
+    op.kind = Op::kInsert;
+  } else if (r < insert_frac_ + erase_frac_) {
+    op.kind = Op::kErase;
+  } else {
+    op.kind = Op::kLookup;
+  }
+  op.key = rng_.next_range(keyrange_);
+  return op;
+}
+
+// -------------------------------------------------------------- workload
+
+namespace {
+
+std::uint64_t mix_key(std::uint64_t k) {
+  std::uint64_t s = k;
+  return splitmix64(s);
+}
+
+struct Spinlock {
+  std::atomic_flag flag = ATOMIC_FLAG_INIT;
+  void lock() {
+    while (flag.test_and_set(std::memory_order_acquire)) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    }
+  }
+  void unlock() { flag.clear(std::memory_order_release); }
+};
+
+struct Node {
+  std::uint64_t key;
+  std::atomic<Node*> next;
+};
+
+void* load_next(const void* src) {
+  return static_cast<const std::atomic<Node*>*>(src)->load(
+      std::memory_order_acquire);
+}
+
+}  // namespace
+
+/// Sharded chained hash set. Every node comes from the reclaimer (so
+/// pooling can intercept it) and leaves through retire(); traversals call
+/// protect() per hop so pointer-protecting schemes pay their read-side
+/// cost. Shard spinlocks keep mutations simple — the contention under
+/// study lives in the allocator, not the structure.
+class Workload {
+ public:
+  Workload(const TrialConfig& cfg, smr::Reclaimer* reclaimer,
+           alloc::Allocator* allocator)
+      : node_size_(std::max(node_size_for_ds(cfg.ds), sizeof(Node))),
+        reclaimer_(reclaimer),
+        allocator_(allocator) {
+    std::size_t want = std::max<std::uint64_t>(cfg.keyrange / 2, 64);
+    nbuckets_ = 1;
+    while (nbuckets_ < want) nbuckets_ <<= 1;
+    buckets_ = std::make_unique<std::atomic<Node*>[]>(nbuckets_);
+    for (std::size_t i = 0; i < nbuckets_; ++i) buckets_[i].store(nullptr);
+    locks_ = std::make_unique<Spinlock[]>(kShards);
+  }
+
+  ~Workload() {
+    for (std::size_t i = 0; i < nbuckets_; ++i) {
+      Node* n = buckets_[i].load(std::memory_order_relaxed);
+      while (n != nullptr) {
+        Node* next = n->next.load(std::memory_order_relaxed);
+        allocator_->deallocate(0, n);
+        n = next;
+      }
+    }
+  }
+
+  bool insert(int tid, std::uint64_t key) {
+    const std::size_t b = bucket_of(key);
+    Spinlock& lock = locks_[b & (kShards - 1)];
+    lock.lock();
+    Node* head = buckets_[b].load(std::memory_order_relaxed);
+    for (Node* n = head; n != nullptr;
+         n = n->next.load(std::memory_order_relaxed)) {
+      if (n->key == key) {
+        lock.unlock();
+        return false;
+      }
+    }
+    Node* node =
+        static_cast<Node*>(reclaimer_->alloc_node(tid, node_size_));
+    node->key = key;
+    node->next.store(head, std::memory_order_relaxed);
+    buckets_[b].store(node, std::memory_order_release);
+    lock.unlock();
+    return true;
+  }
+
+  bool erase(int tid, std::uint64_t key) {
+    const std::size_t b = bucket_of(key);
+    Spinlock& lock = locks_[b & (kShards - 1)];
+    lock.lock();
+    Node* prev = nullptr;
+    Node* n = buckets_[b].load(std::memory_order_relaxed);
+    while (n != nullptr && n->key != key) {
+      prev = n;
+      n = n->next.load(std::memory_order_relaxed);
+    }
+    if (n == nullptr) {
+      lock.unlock();
+      return false;
+    }
+    Node* next = n->next.load(std::memory_order_relaxed);
+    if (prev == nullptr) {
+      buckets_[b].store(next, std::memory_order_release);
+    } else {
+      prev->next.store(next, std::memory_order_release);
+    }
+    lock.unlock();
+    reclaimer_->retire(tid, n);
+    return true;
+  }
+
+  bool lookup(int tid, std::uint64_t key) {
+    const std::size_t b = bucket_of(key);
+    Spinlock& lock = locks_[b & (kShards - 1)];
+    lock.lock();
+    int hop = 0;
+    Node* n = static_cast<Node*>(
+        reclaimer_->protect(tid, hop, load_next, &buckets_[b]));
+    bool found = false;
+    while (n != nullptr) {
+      if (n->key == key) {
+        found = true;
+        break;
+      }
+      ++hop;
+      n = static_cast<Node*>(
+          reclaimer_->protect(tid, hop & 7, load_next, &n->next));
+    }
+    lock.unlock();
+    return found;
+  }
+
+  /// Deterministic half-full prefill: every even key, inserted through
+  /// the normal op path on tid 0.
+  void prefill(std::uint64_t keyrange) {
+    for (std::uint64_t k = 0; k < keyrange; k += 2) {
+      reclaimer_->begin_op(0);
+      insert(0, k);
+      reclaimer_->end_op(0);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kShards = 256;
+
+  std::size_t bucket_of(std::uint64_t key) const {
+    return static_cast<std::size_t>(mix_key(key)) & (nbuckets_ - 1);
+  }
+
+  std::size_t node_size_;
+  std::size_t nbuckets_;
+  smr::Reclaimer* reclaimer_;
+  alloc::Allocator* allocator_;
+  std::unique_ptr<std::atomic<Node*>[]> buckets_;
+  std::unique_ptr<Spinlock[]> locks_;
+};
+
+// ----------------------------------------------------------------- trial
+
+Trial::Trial(const TrialConfig& cfg) : cfg_(cfg) {
+  alloc::AllocConfig acfg = cfg_.alloc;
+  acfg.max_threads = std::max(cfg_.nthreads, 1);
+  allocator_ = alloc::make_allocator(cfg_.allocator, acfg);
+
+  smr::SmrConfig scfg = cfg_.smr;
+  scfg.num_threads = std::max(cfg_.nthreads, 1);
+  smr::SmrContext ctx;
+  ctx.allocator = allocator_.get();
+  ctx.timeline = &timeline_;
+  ctx.garbage = &garbage_;
+  bundle_ = smr::make_reclaimer(cfg_.reclaimer, ctx, scfg);
+
+  workload_ = std::make_unique<Workload>(cfg_, bundle_.reclaimer.get(),
+                                         allocator_.get());
+}
+
+Trial::~Trial() = default;
+
+TrialResult Trial::run() {
+  if (ran_) throw std::logic_error("Trial::run called twice");
+  ran_ = true;
+
+  // Instruments stay disarmed through the prefill.
+  timeline_.reset(cfg_.nthreads, 0, cfg_.timeline_min_duration_ns, false);
+  garbage_.reset(false);
+  workload_->prefill(cfg_.keyrange);
+
+  const int nthreads = std::max(cfg_.nthreads, 1);
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(nthreads), 0);
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(nthreads));
+  for (int tid = 0; tid < nthreads; ++tid) {
+    workers.emplace_back([&, tid] {
+      OpStream ops(cfg_, tid);
+      smr::Reclaimer& r = *bundle_.reclaimer;
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      std::uint64_t done = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Op op = ops.next();
+        r.begin_op(tid);
+        switch (op.kind) {
+          case Op::kInsert:
+            workload_->insert(tid, op.key);
+            break;
+          case Op::kErase:
+            workload_->erase(tid, op.key);
+            break;
+          case Op::kLookup:
+            workload_->lookup(tid, op.key);
+            break;
+        }
+        r.end_op(tid);
+        ++done;
+      }
+      counts[static_cast<std::size_t>(tid)] = done;
+    });
+  }
+
+  const alloc::AllocStats alloc_before = allocator_->stats();
+  const smr::SmrStats smr_before = bundle_.reclaimer->stats();
+  const std::uint64_t t0 = now_ns();
+  timeline_.reset(nthreads, t0, cfg_.timeline_min_duration_ns,
+                  cfg_.enable_timeline);
+  garbage_.reset(cfg_.enable_garbage);
+  go.store(true, std::memory_order_release);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg_.measure_ms));
+  stop.store(true, std::memory_order_relaxed);
+  const std::uint64_t t1 = now_ns();
+  for (std::thread& w : workers) w.join();
+
+  const alloc::AllocStats alloc_after = allocator_->stats();
+  const smr::SmrStats smr_after = bundle_.reclaimer->stats();
+
+  // Teardown frees are not part of the story the instruments tell.
+  timeline_.disarm();
+  garbage_.disarm();
+  bundle_.reclaimer->flush_all();
+  allocator_->flush_thread_caches();
+
+  TrialResult r;
+  for (std::uint64_t c : counts) r.ops += c;
+  r.wall_ns = std::max<std::uint64_t>(t1 - t0, 1);
+  r.mops = static_cast<double>(r.ops) * 1e3 / static_cast<double>(r.wall_ns);
+  r.peak_bytes_mapped = alloc_after.peak_bytes_mapped;
+  r.smr_stats = smr_after;
+  r.epochs_in_window =
+      smr_after.epochs_advanced - smr_before.epochs_advanced;
+  r.freed_in_window = smr_after.freed - smr_before.freed;
+
+  r.alloc_diff.totals.n_alloc =
+      alloc_after.totals.n_alloc - alloc_before.totals.n_alloc;
+  r.alloc_diff.totals.n_free =
+      alloc_after.totals.n_free - alloc_before.totals.n_free;
+  r.alloc_diff.totals.n_remote_free =
+      alloc_after.totals.n_remote_free - alloc_before.totals.n_remote_free;
+  r.alloc_diff.totals.n_flush =
+      alloc_after.totals.n_flush - alloc_before.totals.n_flush;
+  r.alloc_diff.totals.ns_in_free =
+      alloc_after.totals.ns_in_free - alloc_before.totals.ns_in_free;
+  r.alloc_diff.totals.ns_in_flush =
+      alloc_after.totals.ns_in_flush - alloc_before.totals.ns_in_flush;
+  r.alloc_diff.totals.ns_in_lock =
+      alloc_after.totals.ns_in_lock - alloc_before.totals.ns_in_lock;
+  r.alloc_diff.bytes_mapped =
+      alloc_after.bytes_mapped - alloc_before.bytes_mapped;
+  r.alloc_diff.peak_bytes_mapped = alloc_after.peak_bytes_mapped;
+
+  const double thread_ns =
+      static_cast<double>(nthreads) * static_cast<double>(r.wall_ns);
+  r.pct_free =
+      100.0 * static_cast<double>(r.alloc_diff.totals.ns_in_free) / thread_ns;
+  r.pct_flush = 100.0 *
+                static_cast<double>(r.alloc_diff.totals.ns_in_flush) /
+                thread_ns;
+  r.pct_lock =
+      100.0 * static_cast<double>(r.alloc_diff.totals.ns_in_lock) / thread_ns;
+  return r;
+}
+
+AggregateResult run_trials(const TrialConfig& cfg) {
+  AggregateResult agg;
+  const int trials = std::max(cfg.trials, 1);
+  double peak_sum = 0;
+  for (int i = 0; i < trials; ++i) {
+    TrialConfig one = cfg;
+    one.seed = cfg.seed + static_cast<std::uint64_t>(i);
+    Trial trial(one);
+    const TrialResult r = trial.run();
+    if (i == 0) {
+      agg.min_mops = r.mops;
+      agg.max_mops = r.mops;
+    }
+    agg.avg_mops += r.mops;
+    agg.min_mops = std::min(agg.min_mops, r.mops);
+    agg.max_mops = std::max(agg.max_mops, r.mops);
+    peak_sum += static_cast<double>(r.peak_bytes_mapped);
+  }
+  agg.avg_mops /= trials;
+  agg.avg_peak_mib = peak_sum / trials / (1024.0 * 1024.0);
+  agg.trials = trials;
+  return agg;
+}
+
+}  // namespace emr::harness

@@ -1,0 +1,139 @@
+// Trial harness: configuration, the mixed insert/delete/lookup key-range
+// workload the paper runs (50% inserts / 50% deletes over a fixed key
+// range, prefilled to half), per-trial measurement, and multi-trial
+// aggregation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "core/garbage.hpp"
+#include "core/rng.hpp"
+#include "core/timeline.hpp"
+#include "smr/reclaimer.hpp"
+
+namespace emr::harness {
+
+struct TrialConfig {
+  std::string ds = "abtree";      // abtree | occtree | dgt
+  std::string reclaimer = "debra";
+  std::string allocator = "je";
+  int nthreads = 4;
+  std::uint64_t keyrange = 1 << 14;
+  int measure_ms = 200;
+  int trials = 1;
+  std::uint64_t seed = 42;
+  /// Operation mix; lookups take the remaining fraction.
+  double insert_frac = 0.5;
+  double erase_frac = 0.5;
+  bool enable_timeline = false;
+  bool enable_garbage = false;
+  std::uint64_t timeline_min_duration_ns = 10'000;
+  smr::SmrConfig smr;
+  alloc::AllocConfig alloc;
+};
+
+/// Overwrites only the fields whose EMR_* variable is present, so
+/// caller-set defaults always win when the environment is silent.
+void apply_env_overrides(TrialConfig& cfg);
+
+/// A TrialConfig built from defaults + every EMR_* override.
+TrialConfig config_from_env();
+
+/// EMR_THREADS ("1 2 4" or "6,12,24") or `def` when unset/invalid.
+std::vector<int> thread_sweep_from_env(std::vector<int> def);
+
+/// Per-data-structure node size in bytes (the paper's ABtree nodes are
+/// ~240B; the OCCtree's are small; DGT sits between).
+std::size_t node_size_for_ds(const std::string& ds);
+
+struct Op {
+  enum Kind : std::uint8_t { kInsert = 0, kErase = 1, kLookup = 2 };
+  Kind kind;
+  std::uint64_t key;
+};
+
+/// Deterministic per-thread operation stream: the same (config seed, tid)
+/// always replays the same ops, so reclaimers are compared on identical
+/// work.
+class OpStream {
+ public:
+  OpStream(std::uint64_t seed, int tid, double insert_frac,
+           double erase_frac, std::uint64_t keyrange);
+  OpStream(const TrialConfig& cfg, int tid)
+      : OpStream(cfg.seed, tid, cfg.insert_frac, cfg.erase_frac,
+                 cfg.keyrange) {}
+
+  Op next();
+
+ private:
+  Rng rng_;
+  double insert_frac_;
+  double erase_frac_;
+  std::uint64_t keyrange_;
+};
+
+struct TrialResult {
+  std::uint64_t ops = 0;
+  std::uint64_t wall_ns = 0;
+  double mops = 0;  // million completed operations per second
+  std::uint64_t peak_bytes_mapped = 0;
+  smr::SmrStats smr_stats;            // at end of the measured window
+  std::uint64_t epochs_in_window = 0;
+  std::uint64_t freed_in_window = 0;
+  /// Allocator counter deltas over the measured window.
+  alloc::AllocStats alloc_diff;
+  /// Percent of total thread-time spent in free / tcache flush / waiting
+  /// on central-bin locks (the paper's Table 1 columns).
+  double pct_free = 0;
+  double pct_flush = 0;
+  double pct_lock = 0;
+};
+
+struct AggregateResult {
+  double avg_mops = 0;
+  double min_mops = 0;
+  double max_mops = 0;
+  double avg_peak_mib = 0;
+  int trials = 0;
+};
+
+class Workload;  // internal data-structure driver
+
+/// One configured run: builds allocator + reclaimer + structure, prefills
+/// to keyrange/2, runs the op mix on nthreads threads for measure_ms, and
+/// leaves instruments readable until destruction.
+class Trial {
+ public:
+  explicit Trial(const TrialConfig& cfg);
+  ~Trial();
+
+  Trial(const Trial&) = delete;
+  Trial& operator=(const Trial&) = delete;
+
+  /// Runs the trial once. Call at most once per Trial.
+  TrialResult run();
+
+  Timeline& timeline() { return timeline_; }
+  GarbageCensus& garbage() { return garbage_; }
+  smr::Reclaimer& reclaimer() { return *bundle_.reclaimer; }
+  alloc::Allocator& allocator() { return *allocator_; }
+  const TrialConfig& config() const { return cfg_; }
+
+ private:
+  TrialConfig cfg_;
+  Timeline timeline_;
+  GarbageCensus garbage_;
+  std::unique_ptr<alloc::Allocator> allocator_;
+  smr::ReclaimerBundle bundle_;
+  std::unique_ptr<Workload> workload_;
+  bool ran_ = false;
+};
+
+/// Runs cfg.trials independent trials and aggregates.
+AggregateResult run_trials(const TrialConfig& cfg);
+
+}  // namespace emr::harness

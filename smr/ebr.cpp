@@ -1,0 +1,207 @@
+// Epoch-based reclamation family. One machinery serves several published
+// schemes at the fidelity this reproduction needs: DEBRA (amortized epoch
+// checks, per-thread limbo bags), QSBR/RCU (quiescent-state announcement,
+// no fences), and — as calibrated aliases for now (see ROADMAP) — the
+// pointer-protecting schemes (hp/he pay a publish+fence per protected
+// load, ibr/wfe/nbr pay an announcement store), whose *free schedules*
+// are what the paper compares.
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <vector>
+
+#include "core/timing.hpp"
+#include "smr/internal.hpp"
+
+namespace emr::smr::internal {
+namespace {
+
+constexpr int kHazardSlots = 8;
+constexpr std::uint64_t kAdvanceEveryOps = 16;
+
+struct SealedBag {
+  std::uint64_t epoch = 0;
+  std::vector<void*> nodes;
+};
+
+struct alignas(64) EbrSlot {
+  // (epoch << 1) | active. Inactive threads never block an advance.
+  std::atomic<std::uint64_t> announce{0};
+  std::atomic<void*> hazards[kHazardSlots] = {};
+  std::vector<void*> bag;
+  std::deque<SealedBag> sealed;
+  std::uint64_t ops = 0;
+};
+
+class EbrReclaimer final : public Reclaimer {
+ public:
+  EbrReclaimer(const EbrOptions& opt, const SmrContext& ctx,
+               const SmrConfig& cfg, FreeExecutor* executor)
+      : opt_(opt),
+        ctx_(ctx),
+        cfg_(cfg),
+        executor_(executor),
+        slots_(static_cast<std::size_t>(std::max(cfg.num_threads, 1))) {}
+
+  ~EbrReclaimer() override { flush_all(); }
+
+  void begin_op(int tid) override {
+    EbrSlot& s = slot(tid);
+    if (opt_.quiescent) {
+      const std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+      s.announce.store((e << 1) | 1, std::memory_order_relaxed);
+    } else {
+      const std::uint64_t e = epoch_.load(std::memory_order_acquire);
+      s.announce.store((e << 1) | 1, std::memory_order_seq_cst);
+    }
+  }
+
+  void end_op(int tid) override {
+    EbrSlot& s = slot(tid);
+    s.announce.store(s.announce.load(std::memory_order_relaxed) & ~1ULL,
+                     opt_.quiescent ? std::memory_order_relaxed
+                                    : std::memory_order_release);
+    if (++s.ops % kAdvanceEveryOps == 0) try_advance(tid);
+    if (!opt_.leak) collect_safe(tid, s);
+    executor_->on_op_end(tid);
+  }
+
+  void* protect(int tid, int idx, LoadFn load, const void* src) override {
+    switch (opt_.protect) {
+      case ProtectMode::kPlain:
+        return load(src);
+      case ProtectMode::kAnnounce: {
+        // Interval/era schemes tag accesses with the current era: one
+        // extra store on the read path.
+        EbrSlot& s = slot(tid);
+        void* p = load(src);
+        s.announce.store(s.announce.load(std::memory_order_relaxed),
+                         std::memory_order_release);
+        return p;
+      }
+      case ProtectMode::kFence: {
+        // Hazard-pointer discipline: publish, fence, re-validate.
+        EbrSlot& s = slot(tid);
+        std::atomic<void*>& hp =
+            s.hazards[idx >= 0 && idx < kHazardSlots ? idx : 0];
+        void* p = load(src);
+        for (;;) {
+          hp.store(p, std::memory_order_seq_cst);
+          std::atomic_thread_fence(std::memory_order_seq_cst);
+          void* q = load(src);
+          if (q == p) return p;
+          p = q;
+        }
+      }
+    }
+    return load(src);
+  }
+
+  void retire(int tid, void* p) override {
+    EbrSlot& s = slot(tid);
+    retired_.fetch_add(1, std::memory_order_relaxed);
+    s.bag.push_back(p);
+    if (s.bag.size() >= cfg_.batch_size) {
+      seal(s);
+      try_advance(tid);
+    }
+  }
+
+  void* alloc_node(int tid, std::size_t size) override {
+    return executor_->alloc_node(tid, size);
+  }
+
+  void dealloc_unpublished(int tid, void* p) override {
+    ctx_.allocator->deallocate(tid, p);
+  }
+
+  void flush_all() override {
+    for (std::size_t t = 0; t < slots_.size(); ++t) {
+      EbrSlot& s = slots_[t];
+      seal(s);
+      while (!s.sealed.empty()) {
+        executor_->on_reclaimable(static_cast<int>(t),
+                                  std::move(s.sealed.front().nodes));
+        s.sealed.pop_front();
+      }
+      executor_->quiesce(static_cast<int>(t));
+    }
+  }
+
+  SmrStats stats() const override {
+    SmrStats st;
+    st.retired = retired_.load(std::memory_order_relaxed);
+    st.freed = executor_->total_freed();
+    st.pending = st.retired - st.freed;
+    st.epochs_advanced = epochs_advanced_.load(std::memory_order_relaxed);
+    return st;
+  }
+
+  FreeExecutor& executor() override { return *executor_; }
+  const char* name() const override { return opt_.name; }
+
+ private:
+  EbrSlot& slot(int tid) {
+    const std::size_t i = static_cast<std::size_t>(tid);
+    return slots_[i < slots_.size() ? i : 0];
+  }
+
+  void seal(EbrSlot& s) {
+    if (s.bag.empty()) return;
+    s.sealed.push_back(
+        SealedBag{epoch_.load(std::memory_order_relaxed), std::move(s.bag)});
+    s.bag = {};
+    s.bag.reserve(cfg_.batch_size);
+  }
+
+  /// Hands every bag two epochs behind the global epoch to the executor.
+  void collect_safe(int tid, EbrSlot& s) {
+    if (s.sealed.empty()) return;
+    const std::uint64_t e = epoch_.load(std::memory_order_acquire);
+    while (!s.sealed.empty() && s.sealed.front().epoch + 2 <= e) {
+      executor_->on_reclaimable(tid, std::move(s.sealed.front().nodes));
+      s.sealed.pop_front();
+    }
+  }
+
+  void try_advance(int tid) {
+    const std::uint64_t e = epoch_.load(std::memory_order_acquire);
+    for (const EbrSlot& s : slots_) {
+      const std::uint64_t a = s.announce.load(std::memory_order_acquire);
+      if ((a & 1) != 0 && (a >> 1) != e) return;  // active in an old epoch
+    }
+    std::uint64_t expected = e;
+    if (epoch_.compare_exchange_strong(expected, e + 1,
+                                       std::memory_order_acq_rel)) {
+      epochs_advanced_.fetch_add(1, std::memory_order_relaxed);
+      if (ctx_.timeline != nullptr && ctx_.timeline->enabled()) {
+        const std::uint64_t t = now_ns();
+        ctx_.timeline->record(tid, EventKind::kEpochAdvance, t, t);
+      }
+      if (ctx_.garbage != nullptr && ctx_.garbage->enabled()) {
+        const SmrStats st = stats();
+        ctx_.garbage->record(e + 1, st.pending);
+      }
+    }
+  }
+
+  EbrOptions opt_;
+  SmrContext ctx_;
+  SmrConfig cfg_;
+  FreeExecutor* executor_;
+  std::vector<EbrSlot> slots_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> retired_{0};
+  std::atomic<std::uint64_t> epochs_advanced_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<Reclaimer> make_ebr(const EbrOptions& opt,
+                                    const SmrContext& ctx,
+                                    const SmrConfig& cfg,
+                                    FreeExecutor* executor) {
+  return std::make_unique<EbrReclaimer>(opt, ctx, cfg, executor);
+}
+
+}  // namespace emr::smr::internal

@@ -1,0 +1,129 @@
+#include "smr/factory.hpp"
+
+#include <stdexcept>
+
+#include "smr/internal.hpp"
+#include "smr/pooling_executor.hpp"
+
+namespace emr::smr {
+
+namespace {
+
+using internal::EbrOptions;
+using internal::ProtectMode;
+using internal::TokenOptions;
+using internal::TokenPolicy;
+
+enum class ExecKind { kBatch, kAmortized, kPooling };
+
+std::unique_ptr<FreeExecutor> make_executor(ExecKind kind,
+                                            const SmrContext& ctx,
+                                            const SmrConfig& cfg) {
+  switch (kind) {
+    case ExecKind::kBatch:
+      return std::make_unique<BatchFreeExecutor>(ctx, cfg);
+    case ExecKind::kAmortized:
+      return std::make_unique<AmortizedFreeExecutor>(ctx, cfg);
+    case ExecKind::kPooling:
+      return std::make_unique<PoolingFreeExecutor>(ctx, cfg);
+  }
+  return nullptr;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() > suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+ReclaimerBundle make_reclaimer(const std::string& name, const SmrContext& ctx,
+                               const SmrConfig& cfg) {
+  if (ctx.allocator == nullptr) {
+    throw std::invalid_argument("make_reclaimer: SmrContext.allocator unset");
+  }
+
+  // Split off the free-schedule suffix. The multi-word token variants are
+  // whole names, not suffixed forms of "token".
+  std::string base = name;
+  ExecKind exec = ExecKind::kBatch;
+  if (name != "token_naive" && name != "token_passfirst") {
+    if (ends_with(name, "_af")) {
+      base = name.substr(0, name.size() - 3);
+      exec = ExecKind::kAmortized;
+    } else if (ends_with(name, "_pool")) {
+      base = name.substr(0, name.size() - 5);
+      exec = ExecKind::kPooling;
+    }
+  }
+
+  ReclaimerBundle bundle;
+  bundle.executor = make_executor(exec, ctx, cfg);
+
+  // Token family.
+  TokenOptions topt;
+  bool is_token = true;
+  if (base == "token_naive") {
+    topt = {"token_naive", TokenPolicy::kNaive};
+  } else if (base == "token_passfirst") {
+    topt = {"token_passfirst", TokenPolicy::kPassFirst};
+  } else if (base == "token") {
+    topt = exec == ExecKind::kBatch
+               ? TokenOptions{"token", TokenPolicy::kPeriodic}
+               : TokenOptions{exec == ExecKind::kAmortized ? "token_af"
+                                                           : "token_pool",
+                              TokenPolicy::kHandOff};
+  } else {
+    is_token = false;
+  }
+  if (is_token) {
+    bundle.reclaimer =
+        internal::make_token(topt, ctx, cfg, bundle.executor.get());
+    return bundle;
+  }
+
+  // Epoch family (and the pointer-scheme aliases).
+  EbrOptions opt;
+  if (base == "none") {
+    opt = {"none", /*leak=*/true, /*quiescent=*/true, ProtectMode::kPlain};
+  } else if (base == "qsbr") {
+    opt = {"qsbr", false, /*quiescent=*/true, ProtectMode::kPlain};
+  } else if (base == "rcu") {
+    opt = {"rcu", false, /*quiescent=*/true, ProtectMode::kPlain};
+  } else if (base == "debra") {
+    opt = {"debra", false, false, ProtectMode::kPlain};
+  } else if (base == "hp") {
+    opt = {"hp", false, false, ProtectMode::kFence};
+  } else if (base == "he") {
+    opt = {"he", false, false, ProtectMode::kFence};
+  } else if (base == "ibr") {
+    opt = {"ibr", false, false, ProtectMode::kAnnounce};
+  } else if (base == "wfe") {
+    opt = {"wfe", false, false, ProtectMode::kAnnounce};
+  } else if (base == "nbr") {
+    opt = {"nbr", false, false, ProtectMode::kAnnounce};
+  } else if (base == "nbrplus") {
+    opt = {"nbrplus", false, false, ProtectMode::kAnnounce};
+  } else {
+    throw std::invalid_argument("unknown reclaimer: " + name);
+  }
+  bundle.reclaimer = internal::make_ebr(opt, ctx, cfg, bundle.executor.get());
+  return bundle;
+}
+
+const std::vector<std::string>& experiment2_reclaimers() {
+  static const std::vector<std::string> kNames = {
+      "debra", "token", "qsbr", "rcu", "ibr",
+      "nbr",   "nbrplus", "he", "hp",  "wfe"};
+  return kNames;
+}
+
+const std::vector<std::string>& reclaimer_names() {
+  static const std::vector<std::string> kNames = {
+      "none", "qsbr", "rcu", "debra", "hp",  "he",
+      "ibr",  "wfe",  "nbr", "nbrplus", "token_naive",
+      "token_passfirst", "token"};
+  return kNames;
+}
+
+}  // namespace emr::smr

@@ -1,0 +1,30 @@
+// Reclaimer factory. Names:
+//
+//   none | qsbr | rcu | debra | hp | he | ibr | wfe | nbr | nbrplus
+//   token_naive | token_passfirst | token
+//
+// Any base name takes an `_af` suffix (asynchronous per-op free, the
+// paper's fix) or a `_pool` suffix (object pooling). `token_af` /
+// `token_pool` apply to the periodic token variant.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "smr/reclaimer.hpp"
+
+namespace emr::smr {
+
+/// Builds the named reclaimer with its free executor. Throws
+/// std::invalid_argument for an unknown name.
+ReclaimerBundle make_reclaimer(const std::string& name, const SmrContext& ctx,
+                               const SmrConfig& cfg);
+
+/// The ten base algorithms of the paper's Experiment 2 (Fig. 11b): each
+/// is benchmarked ORIG vs `_af`.
+const std::vector<std::string>& experiment2_reclaimers();
+
+/// Every base name make_reclaimer accepts (without suffixes).
+const std::vector<std::string>& reclaimer_names();
+
+}  // namespace emr::smr

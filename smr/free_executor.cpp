@@ -1,0 +1,123 @@
+#include "smr/free_executor.hpp"
+
+#include <algorithm>
+
+#include "core/timing.hpp"
+#include "smr/pooling_executor.hpp"
+
+namespace emr::smr {
+
+FreeExecutor::FreeExecutor(const SmrContext& ctx, const SmrConfig& cfg)
+    : ctx_(ctx), cfg_(cfg) {}
+
+void* FreeExecutor::alloc_node(int tid, std::size_t size) {
+  return ctx_.allocator->allocate(tid, size);
+}
+
+void FreeExecutor::timed_free(int tid, void* p) {
+  Timeline* tl = ctx_.timeline;
+  if (tl != nullptr && tl->enabled()) {
+    const std::uint64_t t0 = now_ns();
+    ctx_.allocator->deallocate(tid, p);
+    tl->record(tid, EventKind::kFreeCall, t0, now_ns());
+  } else {
+    ctx_.allocator->deallocate(tid, p);
+  }
+  freed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------- batch
+
+void BatchFreeExecutor::on_reclaimable(int tid, std::vector<void*>&& bag) {
+  if (bag.empty()) return;
+  Timeline* tl = ctx_.timeline;
+  const bool instrumented = tl != nullptr && tl->enabled();
+  const std::uint64_t t0 = instrumented ? now_ns() : 0;
+  for (void* p : bag) timed_free(tid, p);
+  if (instrumented) tl->record(tid, EventKind::kBatchFree, t0, now_ns());
+}
+
+// ------------------------------------------------------------ amortized
+
+AmortizedFreeExecutor::AmortizedFreeExecutor(const SmrContext& ctx,
+                                             const SmrConfig& cfg)
+    : FreeExecutor(ctx, cfg),
+      freeable_(static_cast<std::size_t>(std::max(cfg.num_threads, 1))) {}
+
+AmortizedFreeExecutor::Freeable& AmortizedFreeExecutor::lane(int tid) {
+  const std::size_t i = static_cast<std::size_t>(tid);
+  return freeable_[i < freeable_.size() ? i : 0];
+}
+
+void AmortizedFreeExecutor::on_reclaimable(int tid,
+                                           std::vector<void*>&& bag) {
+  Freeable& f = lane(tid);
+  for (void* p : bag) f.nodes.push_back(p);
+  f.size.store(f.nodes.size(), std::memory_order_relaxed);
+}
+
+void AmortizedFreeExecutor::on_op_end(int tid) {
+  Freeable& f = lane(tid);
+  std::size_t n = std::min<std::size_t>(cfg_.af_drain_per_op,
+                                        f.nodes.size());
+  while (n-- > 0) {
+    timed_free(tid, f.nodes.front());
+    f.nodes.pop_front();
+  }
+  f.size.store(f.nodes.size(), std::memory_order_relaxed);
+}
+
+void AmortizedFreeExecutor::quiesce(int tid) {
+  Freeable& f = lane(tid);
+  while (!f.nodes.empty()) {
+    timed_free(tid, f.nodes.front());
+    f.nodes.pop_front();
+  }
+  f.size.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t AmortizedFreeExecutor::backlog() const {
+  std::uint64_t total = 0;
+  for (const Freeable& f : freeable_) {
+    total += f.size.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// -------------------------------------------------------------- pooling
+
+PoolingFreeExecutor::PoolingFreeExecutor(const SmrContext& ctx,
+                                         const SmrConfig& cfg)
+    : AmortizedFreeExecutor(ctx, cfg),
+      pool_cap_(std::max<std::size_t>(cfg.batch_size * 4, 1024)) {}
+
+void* PoolingFreeExecutor::alloc_node(int tid, std::size_t size) {
+  // Trials use one node size; recycle only for that size and fall back to
+  // the allocator for anything else.
+  std::size_t expected = 0;
+  common_size_.compare_exchange_strong(expected, size,
+                                       std::memory_order_relaxed);
+  Freeable& f = lane(tid);
+  if (size == common_size_.load(std::memory_order_relaxed) &&
+      !f.nodes.empty()) {
+    void* p = f.nodes.front();
+    f.nodes.pop_front();
+    f.size.store(f.nodes.size(), std::memory_order_relaxed);
+    pooled_allocs_.fetch_add(1, std::memory_order_relaxed);
+    freed_.fetch_add(1, std::memory_order_relaxed);  // left limbo via reuse
+    return p;
+  }
+  return ctx_.allocator->allocate(tid, size);
+}
+
+void PoolingFreeExecutor::on_op_end(int tid) {
+  Freeable& f = lane(tid);
+  std::size_t n = cfg_.af_drain_per_op;
+  while (n-- > 0 && f.nodes.size() > pool_cap_) {
+    timed_free(tid, f.nodes.front());
+    f.nodes.pop_front();
+  }
+  f.size.store(f.nodes.size(), std::memory_order_relaxed);
+}
+
+}  // namespace emr::smr

@@ -1,0 +1,46 @@
+// Free-schedule policies. The reclaimer hands a FreeExecutor bags of
+// nodes that have become safe to reclaim; the executor turns them into
+// allocator traffic:
+//
+//   BatchFreeExecutor     - free the whole bag on the spot (the classical
+//                           EBR behaviour the paper shows is harmful).
+//   AmortizedFreeExecutor - append to a per-thread freeable list; each
+//                           end_op drains `af_drain_per_op` nodes (the
+//                           paper's asynchronous-free fix).
+//   PoolingFreeExecutor   - like amortized, but alloc_node is served from
+//                           the freeable list first (section 3.3 pooling).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "smr/reclaimer.hpp"
+
+namespace emr::smr {
+
+class BatchFreeExecutor final : public FreeExecutor {
+ public:
+  using FreeExecutor::FreeExecutor;
+  void on_reclaimable(int tid, std::vector<void*>&& bag) override;
+};
+
+class AmortizedFreeExecutor : public FreeExecutor {
+ public:
+  AmortizedFreeExecutor(const SmrContext& ctx, const SmrConfig& cfg);
+  void on_reclaimable(int tid, std::vector<void*>&& bag) override;
+  void on_op_end(int tid) override;
+  void quiesce(int tid) override;
+  std::uint64_t backlog() const override;
+
+ protected:
+  struct alignas(64) Freeable {
+    std::deque<void*> nodes;
+    std::atomic<std::uint64_t> size{0};
+  };
+  Freeable& lane(int tid);
+  std::vector<Freeable> freeable_;
+};
+
+}  // namespace emr::smr

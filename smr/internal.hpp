@@ -1,0 +1,47 @@
+// Construction hooks shared between smr/factory.cpp and the reclaimer
+// translation units. Not part of the public surface.
+#pragma once
+
+#include <memory>
+
+#include "smr/free_executor.hpp"
+#include "smr/reclaimer.hpp"
+
+namespace emr::smr::internal {
+
+enum class ProtectMode {
+  kPlain,     // epoch schemes: protect is the raw load
+  kAnnounce,  // interval/era schemes (ibr, wfe, nbr): one extra store
+  kFence,     // hazard-pointer schemes (hp, he): publish + fence + verify
+};
+
+struct EbrOptions {
+  const char* name = "ebr";
+  bool leak = false;       // "none": retired nodes are never reclaimed
+  bool quiescent = false;  // qsbr/rcu: relaxed begin/end, no fences
+  ProtectMode protect = ProtectMode::kPlain;
+};
+
+enum class TokenPolicy {
+  kNaive,      // holder frees every thread's safe bags, then passes
+  kPassFirst,  // pass first, then free own safe bags
+  kPeriodic,   // pass first, free at most one own bag per receipt
+  kHandOff,    // pass first, hand safe bags to the executor (_af/_pool)
+};
+
+struct TokenOptions {
+  const char* name = "token";
+  TokenPolicy policy = TokenPolicy::kPeriodic;
+};
+
+std::unique_ptr<Reclaimer> make_ebr(const EbrOptions& opt,
+                                    const SmrContext& ctx,
+                                    const SmrConfig& cfg,
+                                    FreeExecutor* executor);
+
+std::unique_ptr<Reclaimer> make_token(const TokenOptions& opt,
+                                      const SmrContext& ctx,
+                                      const SmrConfig& cfg,
+                                      FreeExecutor* executor);
+
+}  // namespace emr::smr::internal

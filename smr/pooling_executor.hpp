@@ -1,0 +1,34 @@
+// Object-pooling free schedule (the optimization the paper's section 3.3
+// declines to use and footnote 4 credits for VBR's numbers): reclaimable
+// nodes are recycled into subsequent alloc_node calls, so most node
+// traffic never reaches the allocator at all.
+#pragma once
+
+#include "smr/free_executor.hpp"
+
+namespace emr::smr {
+
+class PoolingFreeExecutor final : public AmortizedFreeExecutor {
+ public:
+  PoolingFreeExecutor(const SmrContext& ctx, const SmrConfig& cfg);
+
+  /// Serves from the thread's freeable list when a recycled node of a
+  /// compatible size is available; falls back to the allocator.
+  void* alloc_node(int tid, std::size_t size) override;
+
+  /// Pooling keeps the backlog as inventory: the per-op drain only trims
+  /// what exceeds the pool cap, so on_op_end frees far less than the
+  /// amortized executor does.
+  void on_op_end(int tid) override;
+
+  std::uint64_t total_pooled_allocs() const {
+    return pooled_allocs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t pool_cap_;
+  std::atomic<std::size_t> common_size_{0};
+  std::atomic<std::uint64_t> pooled_allocs_{0};
+};
+
+}  // namespace emr::smr

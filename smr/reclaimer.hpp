@@ -1,0 +1,125 @@
+// Safe-memory-reclamation interface. A Reclaimer decides *when* a retired
+// node may be freed; its FreeExecutor decides *how* the free calls reach
+// the allocator (one big batch per limbo bag, amortized per-op drains, or
+// recycling through an object pool). The paper's subject is exactly that
+// split: the same reclaimer can be catastrophic or fast depending on the
+// free schedule it hands the allocator.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "core/garbage.hpp"
+#include "core/timeline.hpp"
+
+namespace emr::smr {
+
+struct SmrConfig {
+  int num_threads = 1;
+  /// Retires per limbo bag before the bag is sealed and an epoch advance
+  /// is attempted (the paper's batch size; Experiment 2 uses 32768).
+  std::size_t batch_size = 2048;
+  /// Asynchronous-free drain rate: reclaimable objects freed per
+  /// operation by the _af variants (section 7 prescribes ~frees/op).
+  std::size_t af_drain_per_op = 1;
+};
+
+/// Shared services handed to a reclaimer at construction. Only
+/// `allocator` is mandatory; null instruments are simply not recorded to.
+struct SmrContext {
+  alloc::Allocator* allocator = nullptr;
+  Timeline* timeline = nullptr;
+  GarbageCensus* garbage = nullptr;
+};
+
+struct SmrStats {
+  std::uint64_t retired = 0;
+  std::uint64_t freed = 0;    // reached the allocator or was pool-recycled
+  std::uint64_t pending = 0;  // retired - freed
+  std::uint64_t epochs_advanced = 0;
+};
+
+/// Free-schedule policy base: the reclaimer hands bags of
+/// safe-to-reclaim nodes here, and the executor turns them into
+/// allocator traffic (see smr/free_executor.hpp for the batch, amortized,
+/// and pooling implementations).
+class FreeExecutor {
+ public:
+  FreeExecutor(const SmrContext& ctx, const SmrConfig& cfg);
+  virtual ~FreeExecutor() = default;
+
+  /// Serves a node allocation; the default goes straight to the
+  /// allocator. Pooling overrides this.
+  virtual void* alloc_node(int tid, std::size_t size);
+
+  /// A bag of nodes is now safe to reclaim. Ownership transfers.
+  virtual void on_reclaimable(int tid, std::vector<void*>&& bag) = 0;
+
+  /// Called once per completed operation (the amortization hook).
+  virtual void on_op_end(int tid) { (void)tid; }
+
+  /// Frees any backlog held for `tid`. Single-threaded use only.
+  virtual void quiesce(int tid) { (void)tid; }
+
+  /// Nodes this executor has freed or recycled (== left limbo).
+  std::uint64_t total_freed() const {
+    return freed_.load(std::memory_order_relaxed);
+  }
+
+  /// Nodes held in freeable backlogs (amortized/pooling variants).
+  virtual std::uint64_t backlog() const { return 0; }
+
+ protected:
+  /// Frees one node through the allocator, timing it into the trial
+  /// timeline as a kFreeCall when instrumentation is on.
+  void timed_free(int tid, void* p);
+
+  SmrContext ctx_;
+  SmrConfig cfg_;
+  std::atomic<std::uint64_t> freed_{0};
+};
+
+class Reclaimer {
+ public:
+  virtual ~Reclaimer() = default;
+
+  virtual void begin_op(int tid) = 0;
+  virtual void end_op(int tid) = 0;
+
+  /// Loads a pointer through `load(src)` under this scheme's protection
+  /// (hazard-pointer-class schemes publish + fence + validate; epoch
+  /// schemes are a plain load). `idx` selects the protection slot.
+  using LoadFn = void* (*)(const void* src);
+  virtual void* protect(int tid, int idx, LoadFn load, const void* src) = 0;
+
+  virtual void retire(int tid, void* p) = 0;
+
+  /// Node allocation goes through the reclaimer so pooling variants can
+  /// serve it from the freeable list instead of the allocator.
+  virtual void* alloc_node(int tid, std::size_t size) = 0;
+
+  /// Returns a node that was never published to the structure.
+  virtual void dealloc_unpublished(int tid, void* p) = 0;
+
+  /// Quiesces and frees every retired node. Call only when no thread is
+  /// inside an operation (trial teardown, tests).
+  virtual void flush_all() = 0;
+
+  virtual SmrStats stats() const = 0;
+  virtual FreeExecutor& executor() = 0;
+  virtual const char* name() const = 0;
+};
+
+/// make_reclaimer's result: the executor must outlive the reclaimer, so
+/// they travel together (executor declared first => destroyed last).
+struct ReclaimerBundle {
+  std::unique_ptr<FreeExecutor> executor;
+  std::unique_ptr<Reclaimer> reclaimer;
+};
+
+}  // namespace emr::smr

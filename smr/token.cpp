@@ -1,0 +1,210 @@
+// Token-EBR family (the paper's section 5 progression). A single token
+// circulates; holding it proves every other thread has quiesced since the
+// previous visit, so a bag sealed at pass p is safe once the token has
+// made two further full rotations. The four policies differ only in the
+// free schedule the holder runs:
+//
+//   token_naive     - the holder frees EVERY thread's safe bags before
+//                     passing: frees serialize on one thread, rotations
+//                     stall, and garbage piles up without bound (Fig 6).
+//   token_passfirst - pass first, then free your own safe bags: frees are
+//                     concurrent again, but still arbitrarily large
+//                     batches (Fig 7).
+//   token           - pass first, free at most one bag per receipt: the
+//                     periodic variant (Fig 8).
+//   token_af        - pass first, hand safe bags to the amortized
+//                     executor: per-op drains, no pile-up (Fig 9).
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "core/timing.hpp"
+#include "smr/internal.hpp"
+
+namespace emr::smr::internal {
+namespace {
+
+struct SealedBag {
+  std::uint64_t pass = 0;
+  std::vector<void*> nodes;
+};
+
+struct alignas(64) TokenSlot {
+  std::mutex mu;  // naive's holder drains other threads' queues
+  std::vector<void*> bag;
+  std::deque<SealedBag> sealed;
+};
+
+class TokenReclaimer final : public Reclaimer {
+ public:
+  TokenReclaimer(const TokenOptions& opt, const SmrContext& ctx,
+                 const SmrConfig& cfg, FreeExecutor* executor)
+      : opt_(opt),
+        ctx_(ctx),
+        cfg_(cfg),
+        executor_(executor),
+        nthreads_(std::max(cfg.num_threads, 1)),
+        slots_(static_cast<std::size_t>(nthreads_)) {}
+
+  ~TokenReclaimer() override { flush_all(); }
+
+  void begin_op(int) override {}
+
+  void end_op(int tid) override {
+    if (holder_.load(std::memory_order_acquire) == tid) on_token(tid);
+    executor_->on_op_end(tid);
+  }
+
+  void* protect(int, int, LoadFn load, const void* src) override {
+    return load(src);  // epoch-class scheme: reads need no publication
+  }
+
+  void retire(int tid, void* p) override {
+    TokenSlot& s = slot(tid);
+    retired_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.bag.push_back(p);
+    if (s.bag.size() >= cfg_.batch_size) seal(s);
+  }
+
+  void* alloc_node(int tid, std::size_t size) override {
+    return executor_->alloc_node(tid, size);
+  }
+
+  void dealloc_unpublished(int tid, void* p) override {
+    ctx_.allocator->deallocate(tid, p);
+  }
+
+  void flush_all() override {
+    for (std::size_t t = 0; t < slots_.size(); ++t) {
+      TokenSlot& s = slots_[t];
+      std::lock_guard<std::mutex> lock(s.mu);
+      seal(s);
+      while (!s.sealed.empty()) {
+        executor_->on_reclaimable(static_cast<int>(t),
+                                  std::move(s.sealed.front().nodes));
+        s.sealed.pop_front();
+      }
+      executor_->quiesce(static_cast<int>(t));
+    }
+  }
+
+  SmrStats stats() const override {
+    SmrStats st;
+    st.retired = retired_.load(std::memory_order_relaxed);
+    st.freed = executor_->total_freed();
+    st.pending = st.retired - st.freed;
+    st.epochs_advanced = passes_.load(std::memory_order_relaxed) /
+                         static_cast<std::uint64_t>(nthreads_);
+    return st;
+  }
+
+  FreeExecutor& executor() override { return *executor_; }
+  const char* name() const override { return opt_.name; }
+
+ private:
+  TokenSlot& slot(int tid) {
+    const std::size_t i = static_cast<std::size_t>(tid);
+    return slots_[i < slots_.size() ? i : 0];
+  }
+
+  void seal(TokenSlot& s) {
+    if (s.bag.empty()) return;
+    s.sealed.push_back(SealedBag{passes_.load(std::memory_order_relaxed),
+                                 std::move(s.bag)});
+    s.bag = {};
+    s.bag.reserve(cfg_.batch_size);
+  }
+
+  /// A bag is safe once the token has fully rotated twice past its seal.
+  bool safe(const SealedBag& b, std::uint64_t pass_now) const {
+    return b.pass + 2 * static_cast<std::uint64_t>(nthreads_) <= pass_now;
+  }
+
+  void pass_token(int tid) {
+    const std::uint64_t p =
+        passes_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (p % static_cast<std::uint64_t>(nthreads_) == 0) {
+      const std::uint64_t rotation =
+          p / static_cast<std::uint64_t>(nthreads_);
+      if (ctx_.timeline != nullptr && ctx_.timeline->enabled()) {
+        const std::uint64_t t = now_ns();
+        ctx_.timeline->record(tid, EventKind::kEpochAdvance, t, t);
+      }
+      if (ctx_.garbage != nullptr && ctx_.garbage->enabled()) {
+        const SmrStats st = stats();
+        ctx_.garbage->record(rotation, st.pending);
+      }
+    }
+    holder_.store((tid + 1) % nthreads_, std::memory_order_release);
+  }
+
+  /// Pops up to `max_bags` safe bags from `s` (0 = all).
+  std::vector<SealedBag> take_safe(TokenSlot& s, std::uint64_t pass_now,
+                                   std::size_t max_bags) {
+    std::vector<SealedBag> out;
+    std::lock_guard<std::mutex> lock(s.mu);
+    while (!s.sealed.empty() && safe(s.sealed.front(), pass_now) &&
+           (max_bags == 0 || out.size() < max_bags)) {
+      out.push_back(std::move(s.sealed.front()));
+      s.sealed.pop_front();
+    }
+    return out;
+  }
+
+  void on_token(int tid) {
+    const std::uint64_t pass_now = passes_.load(std::memory_order_relaxed);
+    switch (opt_.policy) {
+      case TokenPolicy::kNaive:
+        // Serialize: the holder reclaims for everyone, then passes.
+        for (TokenSlot& s : slots_) {
+          for (SealedBag& b : take_safe(s, pass_now, 0)) {
+            executor_->on_reclaimable(tid, std::move(b.nodes));
+          }
+        }
+        pass_token(tid);
+        break;
+      case TokenPolicy::kPassFirst:
+        pass_token(tid);
+        for (SealedBag& b : take_safe(slot(tid), pass_now, 0)) {
+          executor_->on_reclaimable(tid, std::move(b.nodes));
+        }
+        break;
+      case TokenPolicy::kPeriodic:
+        pass_token(tid);
+        for (SealedBag& b : take_safe(slot(tid), pass_now, 1)) {
+          executor_->on_reclaimable(tid, std::move(b.nodes));
+        }
+        break;
+      case TokenPolicy::kHandOff:
+        pass_token(tid);
+        for (SealedBag& b : take_safe(slot(tid), pass_now, 0)) {
+          executor_->on_reclaimable(tid, std::move(b.nodes));
+        }
+        break;
+    }
+  }
+
+  TokenOptions opt_;
+  SmrContext ctx_;
+  SmrConfig cfg_;
+  FreeExecutor* executor_;
+  int nthreads_;
+  std::vector<TokenSlot> slots_;
+  std::atomic<int> holder_{0};
+  std::atomic<std::uint64_t> passes_{0};
+  std::atomic<std::uint64_t> retired_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<Reclaimer> make_token(const TokenOptions& opt,
+                                      const SmrContext& ctx,
+                                      const SmrConfig& cfg,
+                                      FreeExecutor* executor) {
+  return std::make_unique<TokenReclaimer>(opt, ctx, cfg, executor);
+}
+
+}  // namespace emr::smr::internal

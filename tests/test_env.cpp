@@ -1,0 +1,138 @@
+// EMR_* environment parsing and override precedence: unset variables
+// must never clobber caller-set defaults (the regression the seed's
+// bench_common.hpp shipped with).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/env.hpp"
+#include "harness/workload.hpp"
+
+namespace {
+
+using namespace emr;
+
+/// Scoped setenv/unsetenv so tests cannot leak state into each other.
+class EnvGuard {
+ public:
+  ~EnvGuard() {
+    for (const std::string& name : touched_) ::unsetenv(name.c_str());
+  }
+  void set(const char* name, const char* value) {
+    touched_.push_back(name);
+    ::setenv(name, value, 1);
+  }
+  void unset(const char* name) {
+    touched_.push_back(name);
+    ::unsetenv(name);
+  }
+
+ private:
+  std::vector<std::string> touched_;
+};
+
+TEST(Env, I64ParsesAndFallsBack) {
+  EnvGuard env;
+  env.unset("EMR_TEST_I64");
+  EXPECT_EQ(env_i64("EMR_TEST_I64", 7), 7);
+  EXPECT_FALSE(env_has("EMR_TEST_I64"));
+
+  env.set("EMR_TEST_I64", "123");
+  EXPECT_EQ(env_i64("EMR_TEST_I64", 7), 123);
+  EXPECT_TRUE(env_has("EMR_TEST_I64"));
+
+  env.set("EMR_TEST_I64", "-5");
+  EXPECT_EQ(env_i64("EMR_TEST_I64", 7), -5);
+
+  env.set("EMR_TEST_I64", "notanumber");
+  EXPECT_EQ(env_i64("EMR_TEST_I64", 7), 7);
+}
+
+TEST(Env, ThreadListParsing) {
+  EnvGuard env;
+  env.set("EMR_THREADS", "1 2 4");
+  EXPECT_EQ(emr::harness::thread_sweep_from_env({8}),
+            (std::vector<int>{1, 2, 4}));
+
+  env.set("EMR_THREADS", "6,12,24");
+  EXPECT_EQ(emr::harness::thread_sweep_from_env({8}),
+            (std::vector<int>{6, 12, 24}));
+
+  env.unset("EMR_THREADS");
+  EXPECT_EQ(emr::harness::thread_sweep_from_env({8, 16}),
+            (std::vector<int>{8, 16}));
+
+  env.set("EMR_THREADS", "garbage");
+  EXPECT_EQ(emr::harness::thread_sweep_from_env({3}),
+            (std::vector<int>{3}));
+}
+
+TEST(Env, OverridePrecedenceBatchAndPenalty) {
+  EnvGuard env;
+  env.unset("EMR_BATCH");
+  env.unset("EMR_REMOTE_PENALTY_NS");
+
+  harness::TrialConfig cfg;
+  cfg.smr.batch_size = 2048;
+  cfg.alloc.remote_free_penalty_ns = 150;
+  harness::apply_env_overrides(cfg);
+  EXPECT_EQ(cfg.smr.batch_size, 2048u);
+  EXPECT_EQ(cfg.alloc.remote_free_penalty_ns, 150u);
+
+  env.set("EMR_BATCH", "32768");
+  env.set("EMR_REMOTE_PENALTY_NS", "0");  // explicit zero must win too
+  harness::apply_env_overrides(cfg);
+  EXPECT_EQ(cfg.smr.batch_size, 32768u);
+  EXPECT_EQ(cfg.alloc.remote_free_penalty_ns, 0u);
+}
+
+TEST(Env, DefaultsWinWhenUnset) {
+  // Regression for the seed bug: config_from_env()'s values used to
+  // overwrite caller defaults even with no EMR_* variable present.
+  EnvGuard env;
+  env.unset("EMR_DS");
+  env.unset("EMR_RECLAIMER");
+  env.unset("EMR_ALLOC");
+
+  harness::TrialConfig cfg;
+  cfg.ds = "occtree";
+  cfg.reclaimer = "token_af";
+  cfg.allocator = "mi";
+  harness::apply_env_overrides(cfg);
+  EXPECT_EQ(cfg.ds, "occtree");
+  EXPECT_EQ(cfg.reclaimer, "token_af");
+  EXPECT_EQ(cfg.allocator, "mi");
+
+  env.set("EMR_RECLAIMER", "hp");
+  harness::apply_env_overrides(cfg);
+  EXPECT_EQ(cfg.reclaimer, "hp");
+  EXPECT_EQ(cfg.ds, "occtree");  // untouched fields stay put
+}
+
+TEST(Env, ConfigFromEnvUsesEnv) {
+  EnvGuard env;
+  env.set("EMR_MS", "77");
+  env.set("EMR_TRIALS", "3");
+  env.set("EMR_KEYRANGE", "100000");
+  env.set("EMR_SEED", "9");
+  const harness::TrialConfig cfg = harness::config_from_env();
+  EXPECT_EQ(cfg.measure_ms, 77);
+  EXPECT_EQ(cfg.trials, 3);
+  EXPECT_EQ(cfg.keyrange, 100000u);
+  EXPECT_EQ(cfg.seed, 9u);
+}
+
+TEST(Env, F64AndStr) {
+  EnvGuard env;
+  env.set("EMR_TEST_F", "0.75");
+  EXPECT_DOUBLE_EQ(env_f64("EMR_TEST_F", 0.5), 0.75);
+  env.unset("EMR_TEST_F");
+  EXPECT_DOUBLE_EQ(env_f64("EMR_TEST_F", 0.5), 0.5);
+
+  env.set("EMR_TEST_S", "hello");
+  EXPECT_EQ(env_str("EMR_TEST_S", "d"), "hello");
+  env.unset("EMR_TEST_S");
+  EXPECT_EQ(env_str("EMR_TEST_S", "d"), "d");
+}
+
+}  // namespace

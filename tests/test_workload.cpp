@@ -1,0 +1,161 @@
+// Workload determinism and end-to-end trial behaviour at tiny scale.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "harness/report.hpp"
+#include "harness/workload.hpp"
+
+namespace {
+
+using namespace emr;
+using harness::Op;
+using harness::OpStream;
+using harness::TrialConfig;
+
+TrialConfig tiny_config() {
+  TrialConfig cfg;
+  cfg.nthreads = 2;
+  cfg.keyrange = 1024;
+  cfg.measure_ms = 25;
+  cfg.trials = 1;
+  cfg.smr.batch_size = 64;
+  cfg.alloc.remote_free_penalty_ns = 0;
+  return cfg;
+}
+
+TEST(OpStreamTest, SameSeedSameStream) {
+  TrialConfig cfg = tiny_config();
+  cfg.seed = 1234;
+  OpStream a(cfg, /*tid=*/1);
+  OpStream b(cfg, /*tid=*/1);
+  for (int i = 0; i < 10000; ++i) {
+    const Op x = a.next();
+    const Op y = b.next();
+    ASSERT_EQ(x.kind, y.kind) << "op " << i;
+    ASSERT_EQ(x.key, y.key) << "op " << i;
+  }
+}
+
+TEST(OpStreamTest, DifferentSeedOrTidDiverges) {
+  TrialConfig cfg = tiny_config();
+  cfg.seed = 1;
+  OpStream a(cfg, 0);
+  OpStream other_tid(cfg, 1);
+  cfg.seed = 2;
+  OpStream other_seed(cfg, 0);
+
+  int same_tid = 0;
+  int same_seed = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const Op x = a.next();
+    if (x.key == other_tid.next().key) ++same_tid;
+    if (x.key == other_seed.next().key) ++same_seed;
+  }
+  EXPECT_LT(same_tid, 100);
+  EXPECT_LT(same_seed, 100);
+}
+
+TEST(OpStreamTest, MixFractionsRespected) {
+  TrialConfig cfg = tiny_config();
+  cfg.insert_frac = 0.25;
+  cfg.erase_frac = 0.25;
+  OpStream s(cfg, 0);
+  int counts[3] = {0, 0, 0};
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[s.next().kind];
+  EXPECT_NEAR(counts[Op::kInsert], kN * 0.25, kN * 0.02);
+  EXPECT_NEAR(counts[Op::kErase], kN * 0.25, kN * 0.02);
+  EXPECT_NEAR(counts[Op::kLookup], kN * 0.50, kN * 0.02);
+}
+
+TEST(TrialTest, RunsAndAccountsForEveryRetiredNode) {
+  for (const char* reclaimer : {"debra", "debra_af", "token_af", "none"}) {
+    TrialConfig cfg = tiny_config();
+    cfg.reclaimer = reclaimer;
+    harness::Trial trial(cfg);
+    const harness::TrialResult r = trial.run();
+    EXPECT_GT(r.ops, 0u) << reclaimer;
+    EXPECT_GT(r.mops, 0.0) << reclaimer;
+    EXPECT_GT(r.peak_bytes_mapped, 0u) << reclaimer;
+    // flush_all ran at teardown: nothing may stay in limbo.
+    EXPECT_EQ(trial.reclaimer().stats().pending, 0u) << reclaimer;
+  }
+}
+
+TEST(TrialTest, EpochsAdvanceAndGarbageIsObserved) {
+  TrialConfig cfg = tiny_config();
+  cfg.reclaimer = "debra";
+  cfg.measure_ms = 50;
+  cfg.smr.batch_size = 32;
+  cfg.enable_garbage = true;
+  harness::Trial trial(cfg);
+  const harness::TrialResult r = trial.run();
+  EXPECT_GT(r.epochs_in_window, 0u);
+  EXPECT_GT(r.freed_in_window, 0u);
+  EXPECT_GT(trial.garbage().aggregate().size(), 0u);
+  EXPECT_GT(trial.garbage().peak_garbage(), 0u);
+}
+
+TEST(TrialTest, TimelineRecordsBatchFrees) {
+  TrialConfig cfg = tiny_config();
+  cfg.reclaimer = "debra";
+  cfg.measure_ms = 50;
+  cfg.smr.batch_size = 32;
+  cfg.enable_timeline = true;
+  cfg.timeline_min_duration_ns = 0;  // record everything
+  harness::Trial trial(cfg);
+  (void)trial.run();
+  std::size_t events = 0;
+  for (int t = 0; t < cfg.nthreads; ++t) {
+    events += trial.timeline().event_count(t);
+  }
+  EXPECT_GT(events, 0u);
+  const std::string ascii =
+      trial.timeline().render_ascii(EventKind::kBatchFree, 4, 60);
+  EXPECT_FALSE(ascii.empty());
+}
+
+TEST(TrialTest, DeterministicSeedGivesIdenticalRetireCounts) {
+  // Throughput varies run to run, but the op streams (and hence the mix
+  // of attempted inserts/erases) are a pure function of the seed.
+  TrialConfig cfg = tiny_config();
+  OpStream a(cfg, 0);
+  OpStream b(cfg, 0);
+  std::uint64_t erases_a = 0;
+  std::uint64_t erases_b = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (a.next().kind == Op::kErase) ++erases_a;
+    if (b.next().kind == Op::kErase) ++erases_b;
+  }
+  EXPECT_EQ(erases_a, erases_b);
+}
+
+TEST(ReportTest, TableAlignsAndWritesCsv) {
+  harness::Table table({"a", "b"});
+  table.add_row({"1", "hello"});
+  table.add_row({"2", "world"});
+  EXPECT_EQ(table.rows(), 2u);
+
+  const std::string path = harness::out_dir() + "test_table.csv";
+  ASSERT_TRUE(table.write_csv(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[128];
+  ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+  EXPECT_STREQ(line, "a,b\n");
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, Formatting) {
+  EXPECT_EQ(harness::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(harness::human_count(950), "950");
+  EXPECT_EQ(harness::human_count(1.5e6), "1.50M");
+  EXPECT_EQ(harness::human_count(2.25e9), "2.25G");
+  EXPECT_EQ(harness::node_size_for_ds("abtree"), 240u);
+  EXPECT_EQ(harness::node_size_for_ds("occtree"), 64u);
+  EXPECT_EQ(harness::node_size_for_ds("dgt"), 96u);
+}
+
+}  // namespace

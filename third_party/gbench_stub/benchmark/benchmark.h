@@ -1,0 +1,128 @@
+// Minimal drop-in for the subset of the google-benchmark API the micro
+// suites use. Selected by CMake only when the real library is absent (or
+// EMR_WITH_GBENCH=OFF): runs each case for a fixed iteration budget and
+// prints ns/op, so the binaries stay buildable and runnable everywhere.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace benchmark {
+
+class State {
+ public:
+  explicit State(std::int64_t iterations) : remaining_(iterations) {}
+
+  struct iterator {
+    State* state;
+    bool operator!=(const iterator&) const { return state->keep_running(); }
+    void operator++() {}
+    int operator*() const { return 0; }
+  };
+  iterator begin() { return iterator{this}; }
+  iterator end() { return iterator{this}; }
+
+  void PauseTiming() { pause_start_ = clock::now(); }
+  void ResumeTiming() { paused_ += clock::now() - pause_start_; }
+  void SetItemsProcessed(std::int64_t n) { items_ = n; }
+
+  std::int64_t iterations() const { return done_; }
+  std::int64_t items_processed() const { return items_; }
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(finish_ - start_ - paused_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+
+  bool keep_running() {
+    if (done_ == 0 && remaining_ > 0) {
+      start_ = clock::now();
+      deadline_ = start_ + std::chrono::milliseconds(50);
+    }
+    // Stop at the iteration cap or the per-case time budget, whichever
+    // comes first (heavy fixtures would otherwise run for minutes).
+    if (remaining_-- > 0 && ((done_ & 0xFF) != 0 || done_ == 0 ||
+                             clock::now() < deadline_)) {
+      ++done_;
+      return true;
+    }
+    finish_ = clock::now();
+    return false;
+  }
+
+  std::int64_t remaining_;
+  std::int64_t done_ = 0;
+  std::int64_t items_ = 0;
+  clock::time_point start_{};
+  clock::time_point finish_{};
+  clock::time_point deadline_{};
+  clock::time_point pause_start_{};
+  clock::duration paused_{};
+};
+
+namespace internal {
+
+struct Case {
+  std::string name;
+  std::function<void(State&)> fn;
+};
+
+inline std::vector<Case>& registry() {
+  static std::vector<Case> cases;
+  return cases;
+}
+
+inline int register_case(std::string name, std::function<void(State&)> fn) {
+  registry().push_back(Case{std::move(name), std::move(fn)});
+  return 0;
+}
+
+inline int run_all() {
+  std::printf("%-40s %15s %12s\n", "benchmark (stub runner)", "iterations",
+              "ns/op");
+  for (const Case& c : registry()) {
+    constexpr std::int64_t kIters = 100000;
+    State state(kIters);
+    c.fn(state);
+    const double ns = state.iterations() > 0
+                          ? state.elapsed_seconds() * 1e9 /
+                                static_cast<double>(state.iterations())
+                          : 0.0;
+    std::printf("%-40s %15lld %12.1f\n", c.name.c_str(),
+                static_cast<long long>(state.iterations()), ns);
+  }
+  return 0;
+}
+
+}  // namespace internal
+
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+}  // namespace benchmark
+
+#define BENCHMARK_STUB_CONCAT2(a, b) a##b
+#define BENCHMARK_STUB_CONCAT(a, b) BENCHMARK_STUB_CONCAT2(a, b)
+
+#define BENCHMARK(fn)                                              \
+  static int BENCHMARK_STUB_CONCAT(bm_reg_, __LINE__) =            \
+      ::benchmark::internal::register_case(#fn, [](::benchmark::State& s) { \
+        fn(s);                                                     \
+      })
+
+#define BENCHMARK_CAPTURE(fn, label, ...)                          \
+  static int BENCHMARK_STUB_CONCAT(bm_reg_, __LINE__) =            \
+      ::benchmark::internal::register_case(                        \
+          std::string(#fn "/") + #label,                           \
+          [](::benchmark::State& s) { fn(s, __VA_ARGS__); })
+
+#define BENCHMARK_MAIN() \
+  int main() { return ::benchmark::internal::run_all(); }
