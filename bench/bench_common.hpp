@@ -6,7 +6,9 @@
 //   EMR_MS       - measured milliseconds per trial (paper: 5000)
 //   EMR_TRIALS   - trials per data point (paper: 3)
 //   EMR_KEYRANGE - key range (paper: 2e7 for ABtree, 2e6 for DGT)
-//   EMR_BATCH    - retire batch size (paper Experiment 2: 32768)
+//   EMR_BATCH    - retire batch size / scan threshold (Experiment 2: 32768)
+//   EMR_HP_SLOTS - protection slots per thread (hp/he/wfe)
+//   EMR_EPOCH_FREQ - era-clock advance rate (he/ibr/wfe/nbr)
 //   EMR_ALLOC    - je | tc | mi | system
 //   EMR_REMOTE_PENALTY_NS - modelled cross-socket free penalty
 //   EMR_OUT      - artifact directory for CSV/timeline dumps

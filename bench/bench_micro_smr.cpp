@@ -1,6 +1,19 @@
 // google-benchmark micro suite for reclaimer primitives: begin/end op
 // overhead per algorithm and the retire-to-free pipeline cost.
+//
+// `bench_micro_smr --smoke` runs a correctness smoke instead: every
+// factory name (all bases x batch/_af/_pool schedules) is constructed
+// and driven through an alloc/protect/retire/flush cycle, accounting is
+// checked, and the run fails if any pointer-protecting name reports the
+// "ebr" implementation family — i.e. if it quietly fell back to epoch
+// aliasing. ci/check.sh runs this after the unit suites.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "alloc/factory.hpp"
 #include "smr/factory.hpp"
@@ -26,6 +39,11 @@ struct MicroWorld {
   }
 };
 
+void* load_ptr(const void* s) {
+  return static_cast<const std::atomic<void*>*>(s)->load(
+      std::memory_order_acquire);
+}
+
 void BM_BeginEndOp(benchmark::State& state, const char* name) {
   MicroWorld w(name);
   smr::Reclaimer& r = *w.bundle.reclaimer;
@@ -45,6 +63,7 @@ BENCHMARK_CAPTURE(BM_BeginEndOp, he, "he");
 BENCHMARK_CAPTURE(BM_BeginEndOp, ibr, "ibr");
 BENCHMARK_CAPTURE(BM_BeginEndOp, wfe, "wfe");
 BENCHMARK_CAPTURE(BM_BeginEndOp, nbr, "nbr");
+BENCHMARK_CAPTURE(BM_BeginEndOp, nbrplus, "nbrplus");
 
 void BM_ProtectLoad(benchmark::State& state, const char* name) {
   MicroWorld w(name);
@@ -53,12 +72,7 @@ void BM_ProtectLoad(benchmark::State& state, const char* name) {
   std::atomic<void*> src{node};
   r.begin_op(0);
   for (auto _ : state) {
-    void* p = r.protect(
-        0, 0, [](const void* s) {
-          return static_cast<const std::atomic<void*>*>(s)->load(
-              std::memory_order_acquire);
-        },
-        &src);
+    void* p = r.protect(0, 0, load_ptr, &src);
     benchmark::DoNotOptimize(p);
   }
   r.end_op(0);
@@ -70,6 +84,7 @@ BENCHMARK_CAPTURE(BM_ProtectLoad, hp, "hp");
 BENCHMARK_CAPTURE(BM_ProtectLoad, he, "he");
 BENCHMARK_CAPTURE(BM_ProtectLoad, ibr, "ibr");
 BENCHMARK_CAPTURE(BM_ProtectLoad, wfe, "wfe");
+BENCHMARK_CAPTURE(BM_ProtectLoad, nbr, "nbr");
 
 void BM_RetirePipeline(benchmark::State& state, const char* name) {
   MicroWorld w(name);
@@ -91,7 +106,66 @@ BENCHMARK_CAPTURE(BM_RetirePipeline, token_af, "token_af");
 BENCHMARK_CAPTURE(BM_RetirePipeline, qsbr, "qsbr");
 BENCHMARK_CAPTURE(BM_RetirePipeline, ibr, "ibr");
 BENCHMARK_CAPTURE(BM_RetirePipeline, hp, "hp");
+BENCHMARK_CAPTURE(BM_RetirePipeline, nbr, "nbr");
+
+// --------------------------------------------------------------- smoke
+
+bool is_pointer_scheme(const std::string& base) {
+  return base == "hp" || base == "he" || base == "ibr" || base == "wfe" ||
+         base == "nbr" || base == "nbrplus";
+}
+
+/// Drives one scheme through 512 alloc/protect/retire ops on two lanes
+/// and checks the accounting closes. Returns false on any violation.
+bool smoke_one(const std::string& name) {
+  MicroWorld w(name);
+  smr::Reclaimer& r = *w.bundle.reclaimer;
+  constexpr std::uint64_t kOps = 512;
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    r.begin_op(0);
+    void* p = r.alloc_node(0, 64);
+    std::atomic<void*> src{p};
+    void* q = r.protect(0, static_cast<int>(i % 8), load_ptr, &src);
+    r.retire(0, q);
+    r.end_op(0);
+    r.begin_op(1);
+    r.end_op(1);
+  }
+  r.flush_all();
+  const smr::SmrStats st = r.stats();
+
+  const bool aliased = is_pointer_scheme(smr::reclaimer_base_name(name)) &&
+                       std::strcmp(r.family(), "ebr") == 0;
+  const bool accounted =
+      st.retired == kOps && st.freed == kOps && st.pending == 0;
+
+  std::printf("%-20s family=%-6s retired=%-5llu freed=%-5llu %s%s\n",
+              name.c_str(), r.family(),
+              static_cast<unsigned long long>(st.retired),
+              static_cast<unsigned long long>(st.freed),
+              accounted ? "ok" : "ACCOUNTING-LEAK",
+              aliased ? " EBR-ALIAS" : "");
+  return accounted && !aliased;
+}
+
+int run_smoke() {
+  bool ok = true;
+  for (const std::string& name : smr::all_factory_names()) {
+    ok &= smoke_one(name);
+  }
+  std::printf("bench_micro_smr --smoke: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,6 +11,11 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j"$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 
+# Reclaimer smoke: every factory name (all bases x batch/_af/_pool)
+# constructs, accounts exactly, and no pointer-protecting name falls
+# back to EBR aliasing (the binary exits non-zero on either violation).
+"$BUILD_DIR/bench_micro_smr" --smoke
+
 # End-to-end: the Figure 1 sweep must produce a non-empty table + CSV.
 export EMR_MS="${EMR_MS:-30}" EMR_THREADS="${EMR_THREADS:-1 2}" \
        EMR_TRIALS=1 EMR_KEYRANGE="${EMR_KEYRANGE:-4096}" \

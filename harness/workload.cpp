@@ -41,6 +41,14 @@ void apply_env_overrides(TrialConfig& cfg) {
     cfg.smr.af_drain_per_op = static_cast<std::size_t>(std::max<std::uint64_t>(
         env_u64("EMR_AF_DRAIN", cfg.smr.af_drain_per_op), 1));
   }
+  if (env_has("EMR_HP_SLOTS")) {
+    cfg.smr.hp_slots = static_cast<std::size_t>(std::max<std::uint64_t>(
+        env_u64("EMR_HP_SLOTS", cfg.smr.hp_slots), 1));
+  }
+  if (env_has("EMR_EPOCH_FREQ")) {
+    cfg.smr.epoch_freq = static_cast<std::size_t>(std::max<std::uint64_t>(
+        env_u64("EMR_EPOCH_FREQ", cfg.smr.epoch_freq), 1));
+  }
   if (env_has("EMR_REMOTE_PENALTY_NS")) {
     cfg.alloc.remote_free_penalty_ns =
         env_u64("EMR_REMOTE_PENALTY_NS", cfg.alloc.remote_free_penalty_ns);
@@ -231,8 +239,10 @@ class Workload {
         break;
       }
       ++hop;
+      // Slot choice is the reclaimer's business: schemes mod the index
+      // by their configured slot count (EMR_HP_SLOTS).
       n = static_cast<Node*>(
-          reclaimer_->protect(tid, hop & 7, load_next, &n->next));
+          reclaimer_->protect(tid, hop, load_next, &n->next));
     }
     lock.unlock();
     return found;

@@ -1,10 +1,9 @@
-// Epoch-based reclamation family. One machinery serves several published
-// schemes at the fidelity this reproduction needs: DEBRA (amortized epoch
-// checks, per-thread limbo bags), QSBR/RCU (quiescent-state announcement,
-// no fences), and — as calibrated aliases for now (see ROADMAP) — the
-// pointer-protecting schemes (hp/he pay a publish+fence per protected
-// load, ibr/wfe/nbr pay an announcement store), whose *free schedules*
-// are what the paper compares.
+// Epoch-based reclamation family: DEBRA (amortized epoch checks,
+// per-thread limbo bags), QSBR/RCU (quiescent-state announcement, no
+// fences), and the leaking "none" baseline. Reads are plain loads — the
+// begin_op/end_op bracket is the protection. The pointer-protecting
+// schemes that used to alias this machinery live in their own
+// translation units now (smr/hp.cpp, smr/he_ibr_wfe.cpp, smr/nbr.cpp).
 #include <algorithm>
 #include <atomic>
 #include <deque>
@@ -16,7 +15,6 @@
 namespace emr::smr::internal {
 namespace {
 
-constexpr int kHazardSlots = 8;
 constexpr std::uint64_t kAdvanceEveryOps = 16;
 
 struct SealedBag {
@@ -27,7 +25,6 @@ struct SealedBag {
 struct alignas(64) EbrSlot {
   // (epoch << 1) | active. Inactive threads never block an advance.
   std::atomic<std::uint64_t> announce{0};
-  std::atomic<void*> hazards[kHazardSlots] = {};
   std::vector<void*> bag;
   std::deque<SealedBag> sealed;
   std::uint64_t ops = 0;
@@ -66,35 +63,8 @@ class EbrReclaimer final : public Reclaimer {
     executor_->on_op_end(tid);
   }
 
-  void* protect(int tid, int idx, LoadFn load, const void* src) override {
-    switch (opt_.protect) {
-      case ProtectMode::kPlain:
-        return load(src);
-      case ProtectMode::kAnnounce: {
-        // Interval/era schemes tag accesses with the current era: one
-        // extra store on the read path.
-        EbrSlot& s = slot(tid);
-        void* p = load(src);
-        s.announce.store(s.announce.load(std::memory_order_relaxed),
-                         std::memory_order_release);
-        return p;
-      }
-      case ProtectMode::kFence: {
-        // Hazard-pointer discipline: publish, fence, re-validate.
-        EbrSlot& s = slot(tid);
-        std::atomic<void*>& hp =
-            s.hazards[idx >= 0 && idx < kHazardSlots ? idx : 0];
-        void* p = load(src);
-        for (;;) {
-          hp.store(p, std::memory_order_seq_cst);
-          std::atomic_thread_fence(std::memory_order_seq_cst);
-          void* q = load(src);
-          if (q == p) return p;
-          p = q;
-        }
-      }
-    }
-    return load(src);
+  void* protect(int, int, LoadFn load, const void* src) override {
+    return load(src);  // epoch-class scheme: reads need no publication
   }
 
   void retire(int tid, void* p) override {
@@ -139,6 +109,7 @@ class EbrReclaimer final : public Reclaimer {
 
   FreeExecutor& executor() override { return *executor_; }
   const char* name() const override { return opt_.name; }
+  const char* family() const override { return "ebr"; }
 
  private:
   EbrSlot& slot(int tid) {
@@ -174,14 +145,7 @@ class EbrReclaimer final : public Reclaimer {
     if (epoch_.compare_exchange_strong(expected, e + 1,
                                        std::memory_order_acq_rel)) {
       epochs_advanced_.fetch_add(1, std::memory_order_relaxed);
-      if (ctx_.timeline != nullptr && ctx_.timeline->enabled()) {
-        const std::uint64_t t = now_ns();
-        ctx_.timeline->record(tid, EventKind::kEpochAdvance, t, t);
-      }
-      if (ctx_.garbage != nullptr && ctx_.garbage->enabled()) {
-        const SmrStats st = stats();
-        ctx_.garbage->record(e + 1, st.pending);
-      }
+      record_progress_beat(ctx_, tid, e + 1, stats().pending);
     }
   }
 

@@ -10,7 +10,7 @@ namespace emr::smr {
 namespace {
 
 using internal::EbrOptions;
-using internal::ProtectMode;
+using internal::EraVariant;
 using internal::TokenOptions;
 using internal::TokenPolicy;
 
@@ -35,7 +35,21 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+/// The multi-word token variants are whole names, not suffixed forms of
+/// "token".
+bool takes_suffix(const std::string& name) {
+  return name != "token_naive" && name != "token_passfirst";
+}
+
 }  // namespace
+
+std::string reclaimer_base_name(const std::string& name) {
+  if (takes_suffix(name)) {
+    if (ends_with(name, "_af")) return name.substr(0, name.size() - 3);
+    if (ends_with(name, "_pool")) return name.substr(0, name.size() - 5);
+  }
+  return name;
+}
 
 ReclaimerBundle make_reclaimer(const std::string& name, const SmrContext& ctx,
                                const SmrConfig& cfg) {
@@ -43,18 +57,16 @@ ReclaimerBundle make_reclaimer(const std::string& name, const SmrContext& ctx,
     throw std::invalid_argument("make_reclaimer: SmrContext.allocator unset");
   }
 
-  // Split off the free-schedule suffix. The multi-word token variants are
-  // whole names, not suffixed forms of "token".
-  std::string base = name;
+  // Split off the free-schedule suffix. Suffixed forms of the fixed
+  // token variants ("token_naive_af") are not in the name grammar —
+  // reject them rather than constructing an untested combination.
+  const std::string base = reclaimer_base_name(name);
+  if (!takes_suffix(base) && base != name) {
+    throw std::invalid_argument("unknown reclaimer: " + name);
+  }
   ExecKind exec = ExecKind::kBatch;
-  if (name != "token_naive" && name != "token_passfirst") {
-    if (ends_with(name, "_af")) {
-      base = name.substr(0, name.size() - 3);
-      exec = ExecKind::kAmortized;
-    } else if (ends_with(name, "_pool")) {
-      base = name.substr(0, name.size() - 5);
-      exec = ExecKind::kPooling;
-    }
+  if (base.size() < name.size()) {
+    exec = ends_with(name, "_af") ? ExecKind::kAmortized : ExecKind::kPooling;
   }
 
   ReclaimerBundle bundle;
@@ -82,28 +94,35 @@ ReclaimerBundle make_reclaimer(const std::string& name, const SmrContext& ctx,
     return bundle;
   }
 
-  // Epoch family (and the pointer-scheme aliases).
+  // Pointer-protecting families, each in its own translation unit.
+  if (base == "hp") {
+    bundle.reclaimer = internal::make_hp(ctx, cfg, bundle.executor.get());
+    return bundle;
+  }
+  if (base == "he" || base == "ibr" || base == "wfe") {
+    const EraVariant variant = base == "he"    ? EraVariant::kHazardEras
+                               : base == "ibr" ? EraVariant::kInterval
+                                               : EraVariant::kWaitFreeEras;
+    bundle.reclaimer =
+        internal::make_era(variant, ctx, cfg, bundle.executor.get());
+    return bundle;
+  }
+  if (base == "nbr" || base == "nbrplus") {
+    bundle.reclaimer = internal::make_nbr(/*plus=*/base == "nbrplus", ctx,
+                                          cfg, bundle.executor.get());
+    return bundle;
+  }
+
+  // Epoch family.
   EbrOptions opt;
   if (base == "none") {
-    opt = {"none", /*leak=*/true, /*quiescent=*/true, ProtectMode::kPlain};
+    opt = {"none", /*leak=*/true, /*quiescent=*/true};
   } else if (base == "qsbr") {
-    opt = {"qsbr", false, /*quiescent=*/true, ProtectMode::kPlain};
+    opt = {"qsbr", false, /*quiescent=*/true};
   } else if (base == "rcu") {
-    opt = {"rcu", false, /*quiescent=*/true, ProtectMode::kPlain};
+    opt = {"rcu", false, /*quiescent=*/true};
   } else if (base == "debra") {
-    opt = {"debra", false, false, ProtectMode::kPlain};
-  } else if (base == "hp") {
-    opt = {"hp", false, false, ProtectMode::kFence};
-  } else if (base == "he") {
-    opt = {"he", false, false, ProtectMode::kFence};
-  } else if (base == "ibr") {
-    opt = {"ibr", false, false, ProtectMode::kAnnounce};
-  } else if (base == "wfe") {
-    opt = {"wfe", false, false, ProtectMode::kAnnounce};
-  } else if (base == "nbr") {
-    opt = {"nbr", false, false, ProtectMode::kAnnounce};
-  } else if (base == "nbrplus") {
-    opt = {"nbrplus", false, false, ProtectMode::kAnnounce};
+    opt = {"debra", false, false};
   } else {
     throw std::invalid_argument("unknown reclaimer: " + name);
   }
@@ -123,6 +142,21 @@ const std::vector<std::string>& reclaimer_names() {
       "none", "qsbr", "rcu", "debra", "hp",  "he",
       "ibr",  "wfe",  "nbr", "nbrplus", "token_naive",
       "token_passfirst", "token"};
+  return kNames;
+}
+
+const std::vector<std::string>& all_factory_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const std::string& base : reclaimer_names()) {
+      names.push_back(base);
+      if (takes_suffix(base)) {
+        names.push_back(base + "_af");
+        names.push_back(base + "_pool");
+      }
+    }
+    return names;
+  }();
   return kNames;
 }
 

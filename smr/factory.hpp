@@ -27,4 +27,14 @@ const std::vector<std::string>& experiment2_reclaimers();
 /// Every base name make_reclaimer accepts (without suffixes).
 const std::vector<std::string>& reclaimer_names();
 
+/// Every constructible name: all bases crossed with the suffix grammar
+/// (the two fixed token variants take no `_af`/`_pool`). The single
+/// source of truth for sweeps that claim to cover "all names" — the
+/// smoke check and the parameterized scheme tests both iterate this.
+const std::vector<std::string>& all_factory_names();
+
+/// Strips a `_af`/`_pool` suffix according to the same grammar
+/// make_reclaimer uses ("token_passfirst" stays whole).
+std::string reclaimer_base_name(const std::string& name);
+
 }  // namespace emr::smr

@@ -9,6 +9,15 @@
 //                           paper's asynchronous-free fix).
 //   PoolingFreeExecutor   - like amortized, but alloc_node is served from
 //                           the freeable list first (section 3.3 pooling).
+//
+// Contract (see the FreeExecutor base in smr/reclaimer.hpp for the full
+// statement): ownership of every pointer in an on_reclaimable() bag
+// transfers here, and each such node leaves limbo exactly once — through
+// one allocator deallocate (timed_free) or, for pooling, by being handed
+// back out of alloc_node(). Bags arrive already safe; delaying a free is
+// always allowed, freeing early is impossible by construction. Per-tid
+// entry points are safe across different tids (each tid owns its lane);
+// quiesce() is teardown-only and drains the lane completely.
 #pragma once
 
 #include <atomic>

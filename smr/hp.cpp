@@ -1,0 +1,186 @@
+// Classic hazard pointers (Michael, "Hazard Pointers: Safe Memory
+// Reclamation for Lock-Free Objects", TPDS 2004). Each thread owns K
+// single-writer hazard slots; protect() publishes the loaded pointer
+// into a slot, fences, and re-reads the source until the publication is
+// known to have been visible while the pointer was still reachable.
+// Retired nodes collect in a per-thread list; once the list reaches the
+// scan threshold the thread snapshots every slot in the system and hands
+// the unprotected suffix to the FreeExecutor as one bag — so the
+// paper's batch/amortized/pooling free schedules apply to HP retires
+// exactly as they do to epoch bags.
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "core/timing.hpp"
+#include "smr/internal.hpp"
+
+namespace emr::smr::internal {
+namespace {
+
+struct alignas(64) HpThread {
+  std::unique_ptr<std::atomic<void*>[]> slots;
+  std::vector<void*> retired;
+  // Next retired-list size that triggers a scan; grows past the base
+  // threshold while every candidate stays protected so a pinned scan
+  // cannot degenerate into O(n) work per retire.
+  std::size_t scan_at = 0;
+};
+
+class HpReclaimer final : public Reclaimer {
+ public:
+  HpReclaimer(const SmrContext& ctx, const SmrConfig& cfg,
+              FreeExecutor* executor)
+      : ctx_(ctx),
+        cfg_(cfg),
+        executor_(executor),
+        nthreads_(std::max(cfg.num_threads, 1)),
+        nslots_(std::max<std::size_t>(cfg.hp_slots, 1)),
+        threads_(static_cast<std::size_t>(nthreads_)) {
+    // Michael's R: a scan can only free anything once the list exceeds
+    // the total hazard count H = N*K, so the effective threshold is the
+    // paper's batch size floored at H+1.
+    scan_threshold_ = std::max<std::size_t>(
+        cfg_.batch_size, static_cast<std::size_t>(nthreads_) * nslots_ + 1);
+    for (HpThread& t : threads_) {
+      t.slots = std::make_unique<std::atomic<void*>[]>(nslots_);
+      for (std::size_t i = 0; i < nslots_; ++i) {
+        t.slots[i].store(nullptr, std::memory_order_relaxed);
+      }
+      t.retired.reserve(scan_threshold_);
+      t.scan_at = scan_threshold_;
+    }
+  }
+
+  ~HpReclaimer() override { flush_all(); }
+
+  void begin_op(int) override {}
+
+  void end_op(int tid) override {
+    HpThread& t = slot(tid);
+    for (std::size_t i = 0; i < nslots_; ++i) {
+      if (t.slots[i].load(std::memory_order_relaxed) != nullptr) {
+        t.slots[i].store(nullptr, std::memory_order_release);
+      }
+    }
+    executor_->on_op_end(tid);
+  }
+
+  void* protect(int tid, int idx, LoadFn load, const void* src) override {
+    HpThread& t = slot(tid);
+    std::atomic<void*>& hp =
+        t.slots[static_cast<std::size_t>(idx < 0 ? 0 : idx) % nslots_];
+    void* p = load(src);
+    for (;;) {
+      hp.store(p, std::memory_order_seq_cst);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      void* q = load(src);
+      if (q == p) return p;  // publication was visible while p was live
+      p = q;
+    }
+  }
+
+  void retire(int tid, void* p) override {
+    HpThread& t = slot(tid);
+    retired_.fetch_add(1, std::memory_order_relaxed);
+    t.retired.push_back(p);
+    if (t.retired.size() >= t.scan_at) scan(tid, t);
+  }
+
+  void* alloc_node(int tid, std::size_t size) override {
+    return executor_->alloc_node(tid, size);
+  }
+
+  void dealloc_unpublished(int tid, void* p) override {
+    ctx_.allocator->deallocate(tid, p);
+  }
+
+  void flush_all() override {
+    for (HpThread& t : threads_) {
+      for (std::size_t i = 0; i < nslots_; ++i) {
+        t.slots[i].store(nullptr, std::memory_order_relaxed);
+      }
+    }
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+      HpThread& t = threads_[i];
+      const int tid = static_cast<int>(i);
+      if (!t.retired.empty()) {
+        executor_->on_reclaimable(tid, std::move(t.retired));
+        t.retired = {};
+        t.scan_at = scan_threshold_;
+      }
+      executor_->quiesce(tid);
+    }
+  }
+
+  SmrStats stats() const override {
+    SmrStats st;
+    st.retired = retired_.load(std::memory_order_relaxed);
+    st.freed = executor_->total_freed();
+    st.pending = st.retired - st.freed;
+    st.epochs_advanced = scans_.load(std::memory_order_relaxed);
+    return st;
+  }
+
+  FreeExecutor& executor() override { return *executor_; }
+  const char* name() const override { return "hp"; }
+  const char* family() const override { return "hp"; }
+
+ private:
+  HpThread& slot(int tid) {
+    const std::size_t i = static_cast<std::size_t>(tid);
+    return threads_[i < threads_.size() ? i : 0];
+  }
+
+  /// Snapshot every hazard slot, hand the unprotected retires to the
+  /// executor, keep the protected ones for the next scan.
+  void scan(int tid, HpThread& t) {
+    std::vector<void*> hazards;
+    hazards.reserve(static_cast<std::size_t>(nthreads_) * nslots_);
+    for (const HpThread& th : threads_) {
+      for (std::size_t i = 0; i < nslots_; ++i) {
+        void* h = th.slots[i].load(std::memory_order_acquire);
+        if (h != nullptr) hazards.push_back(h);
+      }
+    }
+    std::sort(hazards.begin(), hazards.end());
+
+    std::vector<void*> bag;
+    std::vector<void*> keep;
+    bag.reserve(t.retired.size());
+    for (void* p : t.retired) {
+      if (std::binary_search(hazards.begin(), hazards.end(), p)) {
+        keep.push_back(p);
+      } else {
+        bag.push_back(p);
+      }
+    }
+    t.retired = std::move(keep);
+    t.scan_at = next_scan_at(scan_threshold_, t.retired.size());
+
+    scans_.fetch_add(1, std::memory_order_relaxed);
+    const SmrStats st = stats();
+    record_progress_beat(ctx_, tid, st.epochs_advanced, st.pending);
+    if (!bag.empty()) executor_->on_reclaimable(tid, std::move(bag));
+  }
+
+  SmrContext ctx_;
+  SmrConfig cfg_;
+  FreeExecutor* executor_;
+  int nthreads_;
+  std::size_t nslots_;
+  std::size_t scan_threshold_;
+  std::vector<HpThread> threads_;
+  std::atomic<std::uint64_t> retired_{0};
+  std::atomic<std::uint64_t> scans_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<Reclaimer> make_hp(const SmrContext& ctx,
+                                   const SmrConfig& cfg,
+                                   FreeExecutor* executor) {
+  return std::make_unique<HpReclaimer>(ctx, cfg, executor);
+}
+
+}  // namespace emr::smr::internal

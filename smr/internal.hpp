@@ -1,25 +1,44 @@
-// Construction hooks shared between smr/factory.cpp and the reclaimer
-// translation units. Not part of the public surface.
+// Construction hooks and small helpers shared between smr/factory.cpp
+// and the reclaimer translation units. Not part of the public surface.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 
+#include "core/timing.hpp"
 #include "smr/free_executor.hpp"
 #include "smr/reclaimer.hpp"
 
 namespace emr::smr::internal {
 
-enum class ProtectMode {
-  kPlain,     // epoch schemes: protect is the raw load
-  kAnnounce,  // interval/era schemes (ibr, wfe, nbr): one extra store
-  kFence,     // hazard-pointer schemes (hp, he): publish + fence + verify
-};
+/// Records one scheme progress beat — an epoch advance, era tick, token
+/// rotation, or HP scan — into the trial instruments. Every scheme
+/// funnels through here so the cross-scheme timelines and garbage
+/// censuses stay comparable.
+inline void record_progress_beat(const SmrContext& ctx, int tid,
+                                 std::uint64_t beat, std::uint64_t pending) {
+  if (ctx.timeline != nullptr && ctx.timeline->enabled()) {
+    const std::uint64_t now = now_ns();
+    ctx.timeline->record(tid, EventKind::kEpochAdvance, now, now);
+  }
+  if (ctx.garbage != nullptr && ctx.garbage->enabled()) {
+    ctx.garbage->record(beat, pending);
+  }
+}
+
+/// Next retire-list size that should trigger a scan, given what the
+/// last scan kept: at least the base threshold, and at least a quarter
+/// threshold beyond the kept survivors so a fully-pinned list cannot
+/// degenerate into a scan per retire.
+inline std::size_t next_scan_at(std::size_t threshold, std::size_t kept) {
+  return std::max(threshold,
+                  kept + std::max<std::size_t>(threshold / 4, 1));
+}
 
 struct EbrOptions {
   const char* name = "ebr";
   bool leak = false;       // "none": retired nodes are never reclaimed
   bool quiescent = false;  // qsbr/rcu: relaxed begin/end, no fences
-  ProtectMode protect = ProtectMode::kPlain;
 };
 
 enum class TokenPolicy {
@@ -34,6 +53,15 @@ struct TokenOptions {
   TokenPolicy policy = TokenPolicy::kPeriodic;
 };
 
+/// The era-clock schemes share one implementation skeleton (global era,
+/// birth/retire stamping, reservation scan) and differ in what a thread
+/// publishes on the read side.
+enum class EraVariant {
+  kHazardEras,   // he: one published era per protection slot
+  kInterval,     // ibr: a single [lower, upper] reservation interval
+  kWaitFreeEras, // wfe: he with a bounded validate loop + open fallback
+};
+
 std::unique_ptr<Reclaimer> make_ebr(const EbrOptions& opt,
                                     const SmrContext& ctx,
                                     const SmrConfig& cfg,
@@ -43,5 +71,18 @@ std::unique_ptr<Reclaimer> make_token(const TokenOptions& opt,
                                       const SmrContext& ctx,
                                       const SmrConfig& cfg,
                                       FreeExecutor* executor);
+
+std::unique_ptr<Reclaimer> make_hp(const SmrContext& ctx,
+                                   const SmrConfig& cfg,
+                                   FreeExecutor* executor);
+
+std::unique_ptr<Reclaimer> make_era(EraVariant variant,
+                                    const SmrContext& ctx,
+                                    const SmrConfig& cfg,
+                                    FreeExecutor* executor);
+
+std::unique_ptr<Reclaimer> make_nbr(bool plus, const SmrContext& ctx,
+                                    const SmrConfig& cfg,
+                                    FreeExecutor* executor);
 
 }  // namespace emr::smr::internal

@@ -1,0 +1,235 @@
+// Neutralization-based reclamation (Singh, Brown & Mashtizadeh,
+// "NBR: Neutralization Based Reclamation", PPoPP 2021). Readers run
+// inside restartable read blocks and announce the era their block
+// started at; reads themselves are plain loads. A reclaiming thread
+// whose retire list fills "neutralizes" the readers — the original
+// delivers a POSIX signal whose handler longjmps back to the top of the
+// read block; this reproduction raises a per-thread flag that the
+// reader's next protect() honours by restarting its announcement at the
+// current era. A retired node is handed to the FreeExecutor once every
+// active announcement is newer than the node's retire era, so an
+// unresponsive reader (one that never calls protect again) is never
+// yanked.
+//
+// Restart contract: exactly as after the original's longjmp, a restart
+// invalidates every pointer obtained earlier in the read block —
+// including the source operand of the restarting protect() call itself.
+// A caller is only safe if each protect() source is re-derivable at
+// restart time: a structure root, or a node covered by protection the
+// scheme cannot revoke. The harness satisfies this by holding the shard
+// spinlock across its traversals (nodes on the path cannot be retired
+// mid-block); a lock-free caller would need to detect the restart and
+// re-traverse from the root, which this flag-based approximation cannot
+// force the way a signal can. See docs/SMR_SCHEMES.md.
+//
+//   nbr     - neutralize on every scan (each time the list reaches the
+//             batch threshold), like the original's per-full-list
+//             signal burst.
+//   nbrplus - NBR+'s reduced signalling: scans at the batch threshold
+//             reclaim whatever grace already allows, and only a list at
+//             twice the threshold forces a neutralization round.
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <vector>
+
+#include "core/timing.hpp"
+#include "smr/internal.hpp"
+
+namespace emr::smr::internal {
+namespace {
+
+struct RetiredNode {
+  void* p;
+  std::uint64_t retire;
+};
+
+struct alignas(64) NbrThread {
+  // Era at the top of the current read block; 0 = not in an operation.
+  std::atomic<std::uint64_t> start{0};
+  // Raised by reclaimers; the next protect() restarts the read block.
+  std::atomic<bool> neutralize{false};
+  std::vector<RetiredNode> retired;
+  std::size_t scan_at = 0;
+  std::uint64_t allocs = 0;
+};
+
+class NbrReclaimer final : public Reclaimer {
+ public:
+  NbrReclaimer(bool plus, const SmrContext& ctx, const SmrConfig& cfg,
+               FreeExecutor* executor)
+      : name_(plus ? "nbrplus" : "nbr"),
+        plus_(plus),
+        ctx_(ctx),
+        cfg_(cfg),
+        executor_(executor),
+        epoch_freq_(std::max<std::size_t>(cfg.epoch_freq, 1)),
+        scan_threshold_(std::max<std::size_t>(cfg.batch_size, 1)),
+        threads_(static_cast<std::size_t>(std::max(cfg.num_threads, 1))) {
+    for (NbrThread& t : threads_) {
+      t.retired.reserve(scan_threshold_);
+      t.scan_at = scan_threshold_;
+    }
+  }
+
+  ~NbrReclaimer() override { flush_all(); }
+
+  void begin_op(int tid) override {
+    NbrThread& t = slot(tid);
+    t.neutralize.store(false, std::memory_order_relaxed);
+    t.start.store(era_.load(std::memory_order_acquire),
+                  std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  void end_op(int tid) override {
+    NbrThread& t = slot(tid);
+    t.start.store(0, std::memory_order_release);
+    executor_->on_op_end(tid);
+  }
+
+  void* protect(int tid, int, LoadFn load, const void* src) override {
+    NbrThread& t = slot(tid);
+    if (t.neutralize.load(std::memory_order_relaxed)) {
+      // Restart the read block: drop the old announcement and re-enter
+      // at the current era (the signal handler's longjmp analogue).
+      // Per the restart contract above, earlier pointers in this block —
+      // `src` included — must be re-derivable by the caller from here.
+      t.neutralize.store(false, std::memory_order_relaxed);
+      t.start.store(era_.load(std::memory_order_acquire),
+                    std::memory_order_seq_cst);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      neutralized_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return load(src);
+  }
+
+  void retire(int tid, void* p) override {
+    NbrThread& t = slot(tid);
+    retired_.fetch_add(1, std::memory_order_relaxed);
+    t.retired.push_back(
+        RetiredNode{p, era_.load(std::memory_order_acquire)});
+    if (t.retired.size() < t.scan_at) return;
+    // nbr neutralizes on every full list; nbrplus lets grace do the work
+    // at the low watermark and only signals at twice the threshold.
+    if (!plus_ || t.retired.size() >= 2 * scan_threshold_) {
+      neutralize_all(tid);
+    }
+    scan(tid, t);
+  }
+
+  void* alloc_node(int tid, std::size_t size) override {
+    NbrThread& t = slot(tid);
+    if (++t.allocs % epoch_freq_ == 0) advance_era(tid);
+    return executor_->alloc_node(tid, size);
+  }
+
+  void dealloc_unpublished(int tid, void* p) override {
+    ctx_.allocator->deallocate(tid, p);
+  }
+
+  void flush_all() override {
+    for (NbrThread& t : threads_) {
+      t.start.store(0, std::memory_order_relaxed);
+      t.neutralize.store(false, std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+      NbrThread& t = threads_[i];
+      const int tid = static_cast<int>(i);
+      if (!t.retired.empty()) {
+        std::vector<void*> bag;
+        bag.reserve(t.retired.size());
+        for (const RetiredNode& n : t.retired) bag.push_back(n.p);
+        t.retired.clear();
+        t.scan_at = scan_threshold_;
+        executor_->on_reclaimable(tid, std::move(bag));
+      }
+      executor_->quiesce(tid);
+    }
+  }
+
+  SmrStats stats() const override {
+    SmrStats st;
+    st.retired = retired_.load(std::memory_order_relaxed);
+    st.freed = executor_->total_freed();
+    st.pending = st.retired - st.freed;
+    st.epochs_advanced = era_.load(std::memory_order_relaxed) - 1;
+    return st;
+  }
+
+  FreeExecutor& executor() override { return *executor_; }
+  const char* name() const override { return name_; }
+  const char* family() const override { return "nbr"; }
+
+  std::uint64_t neutralizations() const {
+    return neutralized_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  NbrThread& slot(int tid) {
+    const std::size_t i = static_cast<std::size_t>(tid);
+    return threads_[i < threads_.size() ? i : 0];
+  }
+
+  void neutralize_all(int tid) {
+    advance_era(tid);
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+      if (static_cast<int>(i) == tid) continue;
+      NbrThread& t = threads_[i];
+      if (t.start.load(std::memory_order_acquire) != 0) {
+        t.neutralize.store(true, std::memory_order_release);
+      }
+    }
+  }
+
+  /// Frees every node retired strictly before the oldest active read
+  /// block's announcement.
+  void scan(int tid, NbrThread& t) {
+    std::uint64_t min_active = std::numeric_limits<std::uint64_t>::max();
+    for (const NbrThread& th : threads_) {
+      const std::uint64_t s = th.start.load(std::memory_order_acquire);
+      if (s != 0) min_active = std::min(min_active, s);
+    }
+    std::vector<void*> bag;
+    std::vector<RetiredNode> keep;
+    bag.reserve(t.retired.size());
+    for (const RetiredNode& n : t.retired) {
+      if (n.retire < min_active) {
+        bag.push_back(n.p);
+      } else {
+        keep.push_back(n);
+      }
+    }
+    t.retired = std::move(keep);
+    t.scan_at = next_scan_at(scan_threshold_, t.retired.size());
+    if (!bag.empty()) executor_->on_reclaimable(tid, std::move(bag));
+  }
+
+  void advance_era(int tid) {
+    const std::uint64_t e =
+        era_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    record_progress_beat(ctx_, tid, e, stats().pending);
+  }
+
+  const char* name_;
+  bool plus_;
+  SmrContext ctx_;
+  SmrConfig cfg_;
+  FreeExecutor* executor_;
+  std::size_t epoch_freq_;
+  std::size_t scan_threshold_;
+  std::vector<NbrThread> threads_;
+  std::atomic<std::uint64_t> era_{1};
+  std::atomic<std::uint64_t> retired_{0};
+  std::atomic<std::uint64_t> neutralized_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<Reclaimer> make_nbr(bool plus, const SmrContext& ctx,
+                                    const SmrConfig& cfg,
+                                    FreeExecutor* executor) {
+  return std::make_unique<NbrReclaimer>(plus, ctx, cfg, executor);
+}
+
+}  // namespace emr::smr::internal

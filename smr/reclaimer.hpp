@@ -4,6 +4,13 @@
 // recycling through an object pool). The paper's subject is exactly that
 // split: the same reclaimer can be catastrophic or fast depending on the
 // free schedule it hands the allocator.
+//
+// Scheme families behind this interface (see docs/SMR_SCHEMES.md):
+//   smr/ebr.cpp        - epoch-based: none, qsbr, rcu, debra
+//   smr/token.cpp      - Token-EBR: token_naive, token_passfirst, token
+//   smr/hp.cpp         - classic hazard pointers: hp
+//   smr/he_ibr_wfe.cpp - era-clock schemes: he, ibr, wfe
+//   smr/nbr.cpp        - neutralization-based: nbr, nbrplus
 #pragma once
 
 #include <atomic>
@@ -22,11 +29,21 @@ namespace emr::smr {
 struct SmrConfig {
   int num_threads = 1;
   /// Retires per limbo bag before the bag is sealed and an epoch advance
-  /// is attempted (the paper's batch size; Experiment 2 uses 32768).
+  /// is attempted (the paper's batch size; Experiment 2 uses 32768). The
+  /// pointer-protecting schemes use the same value as their retire-list
+  /// scan threshold, so EMR_BATCH drives every family's batching.
   std::size_t batch_size = 2048;
   /// Asynchronous-free drain rate: reclaimable objects freed per
   /// operation by the _af variants (section 7 prescribes ~frees/op).
   std::size_t af_drain_per_op = 1;
+  /// Per-thread protection slots for the hazard-class schemes (hp, he,
+  /// wfe). Michael's HP calls this K; protect()'s `idx` is taken mod
+  /// this count. EMR_HP_SLOTS.
+  std::size_t hp_slots = 8;
+  /// Era-clock advance frequency for he/ibr/wfe/nbr: the global era is
+  /// bumped once per this many node allocations on any one thread (the
+  /// IBR paper's epoch_freq). EMR_EPOCH_FREQ.
+  std::size_t epoch_freq = 64;
 };
 
 /// Shared services handed to a reclaimer at construction. Only
@@ -41,6 +58,9 @@ struct SmrStats {
   std::uint64_t retired = 0;
   std::uint64_t freed = 0;    // reached the allocator or was pool-recycled
   std::uint64_t pending = 0;  // retired - freed
+  /// Scheme-specific progress beat: epoch advances (ebr), full token
+  /// rotations (token), retire-list scans (hp), era advances (he/ibr/
+  /// wfe/nbr).
   std::uint64_t epochs_advanced = 0;
 };
 
@@ -48,6 +68,27 @@ struct SmrStats {
 /// safe-to-reclaim nodes here, and the executor turns them into
 /// allocator traffic (see smr/free_executor.hpp for the batch, amortized,
 /// and pooling implementations).
+///
+/// Contract:
+///  - Ownership of every pointer in an on_reclaimable() bag transfers to
+///    the executor; the reclaimer must never touch it again. Each such
+///    pointer is released exactly once — either by a single
+///    allocator->deallocate() (counted into total_freed() by timed_free)
+///    or, for the pooling executor, by being handed back out of
+///    alloc_node() (also counted: recycling is how the node leaves
+///    limbo).
+///  - A node handed over is safe to reclaim *now*; executors may delay
+///    the actual free arbitrarily (delaying is always safe) but may
+///    never free early, because they never see unsafe nodes at all.
+///  - alloc_node()/on_reclaimable()/on_op_end() are called by the owning
+///    thread `tid` only and must be thread-safe across *different* tids
+///    (per-tid lanes, atomic counters). quiesce() and destruction are
+///    single-threaded: callers must ensure no thread is inside an
+///    operation.
+///  - quiesce(tid) drains every node the executor still holds for `tid`;
+///    after quiesce has run for all tids, backlog() == 0 and
+///    total_freed() equals the number of nodes ever handed over (plus
+///    pool recycles).
 class FreeExecutor {
  public:
   FreeExecutor(const SmrContext& ctx, const SmrConfig& cfg);
@@ -84,6 +125,32 @@ class FreeExecutor {
   std::atomic<std::uint64_t> freed_{0};
 };
 
+/// A safe-memory-reclamation scheme.
+///
+/// Contract:
+///  - Thread model: `tid` identifies the calling thread; a given tid's
+///    begin_op/protect/retire/end_op/alloc_node calls are made by one
+///    thread at a time, bracketed begin_op..end_op per operation.
+///    Different tids run concurrently; implementations communicate
+///    between them only through atomics (announcements, hazard slots,
+///    era reservations).
+///  - retire(tid, p) transfers ownership of `p` to the scheme. The node
+///    must already be unreachable from the structure (unlinked). It will
+///    be released exactly once: handed to the FreeExecutor no earlier
+///    than when no concurrent protect()/begin_op() publication still
+///    covers it.
+///  - protect(tid, idx, load, src) returns a pointer read through
+///    `load(src)` that is guaranteed not to be handed to the executor
+///    until the protection lapses (end_op for slot/era schemes; the next
+///    neutralized protect for nbr). Epoch-class schemes return the plain
+///    load — their begin_op/end_op bracket is the protection.
+///  - flush_all() is the teardown path: callers guarantee no thread is
+///    inside an operation; the scheme drops every publication, hands all
+///    retired nodes to the executor and quiesces it, leaving
+///    stats().pending == 0. It is idempotent and runs again from the
+///    destructor.
+///  - stats() may be called concurrently with operations; counters are
+///    monotonic and may be momentarily inconsistent with each other.
 class Reclaimer {
  public:
   virtual ~Reclaimer() = default;
@@ -93,17 +160,20 @@ class Reclaimer {
 
   /// Loads a pointer through `load(src)` under this scheme's protection
   /// (hazard-pointer-class schemes publish + fence + validate; epoch
-  /// schemes are a plain load). `idx` selects the protection slot.
+  /// schemes are a plain load). `idx` selects the protection slot; any
+  /// non-negative value is accepted (taken mod the slot count).
   using LoadFn = void* (*)(const void* src);
   virtual void* protect(int tid, int idx, LoadFn load, const void* src) = 0;
 
   virtual void retire(int tid, void* p) = 0;
 
   /// Node allocation goes through the reclaimer so pooling variants can
-  /// serve it from the freeable list instead of the allocator.
+  /// serve it from the freeable list and era schemes can stamp birth
+  /// eras.
   virtual void* alloc_node(int tid, std::size_t size) = 0;
 
-  /// Returns a node that was never published to the structure.
+  /// Returns a node that was never published to the structure (or is
+  /// being torn down single-threadedly) straight to the allocator.
   virtual void dealloc_unpublished(int tid, void* p) = 0;
 
   /// Quiesces and frees every retired node. Call only when no thread is
@@ -113,6 +183,11 @@ class Reclaimer {
   virtual SmrStats stats() const = 0;
   virtual FreeExecutor& executor() = 0;
   virtual const char* name() const = 0;
+
+  /// Implementation family: "ebr", "token", "hp", "era", or "nbr".
+  /// Lets tests and CI assert that the pointer-protecting names are not
+  /// quietly aliased onto the epoch machinery.
+  virtual const char* family() const = 0;
 };
 
 /// make_reclaimer's result: the executor must outlive the reclaimer, so

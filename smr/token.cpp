@@ -103,6 +103,7 @@ class TokenReclaimer final : public Reclaimer {
 
   FreeExecutor& executor() override { return *executor_; }
   const char* name() const override { return opt_.name; }
+  const char* family() const override { return "token"; }
 
  private:
   TokenSlot& slot(int tid) {
@@ -129,14 +130,7 @@ class TokenReclaimer final : public Reclaimer {
     if (p % static_cast<std::uint64_t>(nthreads_) == 0) {
       const std::uint64_t rotation =
           p / static_cast<std::uint64_t>(nthreads_);
-      if (ctx_.timeline != nullptr && ctx_.timeline->enabled()) {
-        const std::uint64_t t = now_ns();
-        ctx_.timeline->record(tid, EventKind::kEpochAdvance, t, t);
-      }
-      if (ctx_.garbage != nullptr && ctx_.garbage->enabled()) {
-        const SmrStats st = stats();
-        ctx_.garbage->record(rotation, st.pending);
-      }
+      record_progress_beat(ctx_, tid, rotation, stats().pending);
     }
     holder_.store((tid + 1) % nthreads_, std::memory_order_release);
   }

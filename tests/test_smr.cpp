@@ -3,55 +3,16 @@
 // and factory coverage across every name the benches use.
 #include <gtest/gtest.h>
 
-#include <set>
 #include <vector>
 
-#include "alloc/factory.hpp"
 #include "smr/factory.hpp"
 #include "smr/pooling_executor.hpp"
+#include "tests/tracking_allocator.hpp"
 
 namespace {
 
 using namespace emr;
-
-/// Wraps a real allocator and asserts no pointer is freed twice or freed
-/// without having been allocated.
-class TrackingAllocator final : public alloc::Allocator {
- public:
-  TrackingAllocator() {
-    alloc::AllocConfig cfg;
-    cfg.max_threads = 8;
-    inner_ = alloc::make_allocator("system", cfg);
-  }
-
-  void* allocate(int tid, std::size_t size) override {
-    void* p = inner_->allocate(tid, size);
-    live_.insert(p);
-    ++allocs_;
-    return p;
-  }
-
-  void deallocate(int tid, void* p) override {
-    ASSERT_EQ(live_.count(p), 1u) << "freed a pointer that is not live "
-                                     "(double free or foreign pointer)";
-    live_.erase(p);
-    ++frees_;
-    inner_->deallocate(tid, p);
-  }
-
-  alloc::AllocStats stats() const override { return inner_->stats(); }
-  const char* name() const override { return "tracking"; }
-
-  std::uint64_t allocs() const { return allocs_; }
-  std::uint64_t frees() const { return frees_; }
-  std::size_t live() const { return live_.size(); }
-
- private:
-  std::unique_ptr<alloc::Allocator> inner_;
-  std::set<void*> live_;
-  std::uint64_t allocs_ = 0;
-  std::uint64_t frees_ = 0;
-};
+using test::TrackingAllocator;
 
 struct World {
   TrackingAllocator allocator;

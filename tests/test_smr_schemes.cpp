@@ -1,0 +1,254 @@
+// Scheme-faithfulness suite, parameterized over every factory name the
+// benches can ask for: a node that a reader currently protects is never
+// handed to the free schedule (not freed, not pool-recycled), every
+// retired node is freed at teardown, and the pointer-protecting names
+// resolve to their own families rather than aliasing the epoch
+// machinery. Scheme-specific behaviours (HP scan partitioning, era
+// grace, NBR neutralization) get their own cases at the bottom.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "smr/factory.hpp"
+#include "tests/tracking_allocator.hpp"
+
+namespace {
+
+using namespace emr;
+using test::TrackingAllocator;
+
+void* load_ptr(const void* s) {
+  return static_cast<const std::atomic<void*>*>(s)->load(
+      std::memory_order_acquire);
+}
+
+struct SchemeWorld {
+  TrackingAllocator allocator;
+  smr::SmrContext ctx;
+  smr::SmrConfig cfg;
+  smr::ReclaimerBundle bundle;
+
+  explicit SchemeWorld(const std::string& name, std::size_t batch = 8,
+                       int threads = 2) {
+    ctx.allocator = &allocator;
+    cfg.num_threads = threads;
+    cfg.batch_size = batch;
+    cfg.af_drain_per_op = 4;
+    cfg.epoch_freq = 16;  // advance the era clock within small tests
+    bundle = smr::make_reclaimer(name, ctx, cfg);
+  }
+
+  smr::Reclaimer& r() { return *bundle.reclaimer; }
+};
+
+class SmrSchemeTest : public ::testing::TestWithParam<std::string> {};
+
+// smr::all_factory_names() is the factory's own single source of truth
+// for every constructible name (bases x the suffix grammar), so new
+// names are covered here automatically.
+INSTANTIATE_TEST_SUITE_P(
+    AllFactoryNames, SmrSchemeTest,
+    ::testing::ValuesIn(smr::all_factory_names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+// The core protection invariant: thread 0 protects a node mid-op;
+// thread 1 unlinks and retires that node, then churns hard enough to
+// drive scans, epoch advances, token passes and executor drains. The
+// protected node must survive all of it — and must not be served back
+// out of the pool either — until the protector's operation ends. After
+// teardown every retired node must have been freed exactly once.
+TEST_P(SmrSchemeTest, NoFreeWhileProtectedAndAllFreedAtTeardown) {
+  const std::string name = GetParam();
+  SchemeWorld w(name);
+
+  void* x = w.r().alloc_node(0, 64);
+  std::atomic<void*> src{x};
+  w.r().begin_op(0);
+  ASSERT_EQ(w.r().protect(0, 0, load_ptr, &src), x) << name;
+
+  // Thread 1 "unlinks" x and retires it, then churns.
+  w.r().begin_op(1);
+  w.r().retire(1, x);
+  w.r().end_op(1);
+  for (int i = 0; i < 400; ++i) {
+    w.r().begin_op(1);
+    void* p = w.r().alloc_node(1, 64);
+    EXPECT_NE(p, x) << name << ": protected node served out of the pool";
+    w.r().retire(1, p);
+    w.r().end_op(1);
+  }
+
+  EXPECT_EQ(w.allocator.freed_count(x), 0u)
+      << name << ": node freed while a reader still protects it";
+
+  w.r().end_op(0);
+  w.r().flush_all();
+  const smr::SmrStats st = w.r().stats();
+  EXPECT_EQ(st.retired, 401u) << name;
+  EXPECT_EQ(st.pending, 0u) << name;
+  EXPECT_EQ(w.allocator.live(), 0u) << name;
+}
+
+// Protection slots are per-(tid, idx): releasing one thread's op leaves
+// other retires reclaimable, and repeated protect calls on many slots
+// never confuse the accounting.
+TEST_P(SmrSchemeTest, MultiSlotTraversalAccountsExactly) {
+  const std::string name = GetParam();
+  SchemeWorld w(name);
+
+  for (int round = 0; round < 8; ++round) {
+    w.r().begin_op(0);
+    std::vector<void*> nodes;
+    for (int i = 0; i < 12; ++i) {
+      void* p = w.r().alloc_node(0, 64);
+      std::atomic<void*> src{p};
+      EXPECT_EQ(w.r().protect(0, i, load_ptr, &src), p) << name;
+      nodes.push_back(p);
+    }
+    w.r().end_op(0);
+    w.r().begin_op(1);
+    for (void* p : nodes) w.r().retire(1, p);
+    w.r().end_op(1);
+  }
+  w.r().flush_all();
+  const smr::SmrStats st = w.r().stats();
+  EXPECT_EQ(st.retired, 96u) << name;
+  EXPECT_EQ(st.pending, 0u) << name;
+  EXPECT_EQ(w.allocator.live(), 0u) << name;
+}
+
+// The anti-aliasing check the CI smoke also enforces: every pointer-
+// protecting name must resolve to its own implementation family.
+TEST(SmrFamilies, PointerSchemesAreNotEbrAliases) {
+  const struct {
+    const char* name;
+    const char* family;
+  } kExpected[] = {
+      {"none", "ebr"},     {"qsbr", "ebr"},     {"rcu", "ebr"},
+      {"debra", "ebr"},    {"token", "token"},  {"token_naive", "token"},
+      {"token_passfirst", "token"},             {"hp", "hp"},
+      {"he", "era"},       {"ibr", "era"},      {"wfe", "era"},
+      {"nbr", "nbr"},      {"nbrplus", "nbr"},
+  };
+  for (const auto& e : kExpected) {
+    SchemeWorld w(e.name);
+    EXPECT_STREQ(w.r().family(), e.family) << e.name;
+    EXPECT_STREQ(w.r().name(), e.name);
+  }
+  for (const char* name : {"hp", "he", "ibr", "wfe", "nbr", "nbrplus"}) {
+    SchemeWorld w(name);
+    EXPECT_STRNE(w.r().family(), "ebr")
+        << name << " fell back to EBR aliasing";
+  }
+}
+
+// Suffixed forms of the fixed token variants are outside the name
+// grammar (and outside all_factory_names()' coverage), so the factory
+// must refuse them instead of constructing untested combinations.
+TEST(SmrFamilies, FixedTokenVariantsTakeNoSuffix) {
+  TrackingAllocator allocator;
+  smr::SmrContext ctx;
+  ctx.allocator = &allocator;
+  smr::SmrConfig cfg;
+  for (const char* name : {"token_naive_af", "token_naive_pool",
+                           "token_passfirst_af", "token_passfirst_pool"}) {
+    EXPECT_THROW(smr::make_reclaimer(name, ctx, cfg),
+                 std::invalid_argument)
+        << name;
+  }
+}
+
+// HP partitions a full retire list in one scan: everything except the
+// hazarded node reaches the allocator immediately, with no epoch grace.
+TEST(SmrHp, ScanFreesUnprotectedImmediately) {
+  SchemeWorld w("hp", /*batch=*/8);
+  void* x = w.r().alloc_node(0, 64);
+  std::atomic<void*> src{x};
+  w.r().begin_op(0);
+  w.r().protect(0, 0, load_ptr, &src);
+
+  w.r().begin_op(1);
+  w.r().retire(1, x);
+  // Push past the scan threshold (batch floored at N*K+1 hazards).
+  for (int i = 0; i < 64; ++i) w.r().retire(1, w.r().alloc_node(1, 64));
+  w.r().end_op(1);
+
+  const smr::SmrStats st = w.r().stats();
+  EXPECT_GT(st.freed, 0u) << "scan should free unprotected retires";
+  EXPECT_EQ(w.allocator.freed_count(x), 0u);
+  EXPECT_GE(st.epochs_advanced, 1u);  // counts scans for hp
+
+  w.r().end_op(0);
+  w.r().flush_all();
+  EXPECT_EQ(w.allocator.live(), 0u);
+}
+
+// Era schemes only reclaim nodes whose [birth, retire] interval no
+// reservation intersects; with no readers at all, a full bag drains on
+// the next scan.
+TEST(SmrEra, UnreservedIntervalsReclaimWithoutReaders) {
+  for (const char* name : {"he", "ibr", "wfe"}) {
+    SchemeWorld w(name, /*batch=*/16);
+    for (int i = 0; i < 96; ++i) {
+      w.r().begin_op(0);
+      w.r().retire(0, w.r().alloc_node(0, 64));
+      w.r().end_op(0);
+    }
+    EXPECT_GT(w.r().stats().freed, 0u) << name;
+    w.r().flush_all();
+    EXPECT_EQ(w.r().stats().pending, 0u) << name;
+    EXPECT_EQ(w.allocator.live(), 0u) << name;
+  }
+}
+
+// NBR's defining move: a neutralized reader that *keeps reading* (calls
+// protect again) restarts its read block at the current era and thereby
+// abandons its claim on earlier retires — which then become freeable —
+// while a reader that never acknowledges the flag keeps blocking them.
+TEST(SmrNbr, NeutralizedReaderRestartsAndUnblocksReclamation) {
+  for (const char* name : {"nbr", "nbrplus"}) {
+    SchemeWorld w(name, /*batch=*/8);
+    void* x = w.r().alloc_node(0, 64);
+    std::atomic<void*> src{x};
+
+    w.r().begin_op(0);
+    w.r().protect(0, 0, load_ptr, &src);
+
+    // Churn: retires + era advances set thread 0's neutralize flag, but
+    // with no further protect calls the old announcement stands.
+    w.r().begin_op(1);
+    w.r().retire(1, x);
+    w.r().end_op(1);
+    auto churn = [&w](int ops) {
+      for (int i = 0; i < ops; ++i) {
+        w.r().begin_op(1);
+        w.r().retire(1, w.r().alloc_node(1, 64));
+        w.r().end_op(1);
+      }
+    };
+    churn(200);
+    EXPECT_EQ(w.allocator.freed_count(x), 0u)
+        << name << ": unacknowledged neutralization must not unprotect";
+
+    // The reader keeps reading: this protect honours the flag, restarts
+    // the read block, and x's retire era falls out of every active
+    // announcement on the next churn round.
+    w.r().protect(0, 0, load_ptr, &src);
+    churn(200);
+    // freed_count, not is_live: the allocator may have recycled x's
+    // address for a later churn node by the time we look.
+    EXPECT_GE(w.allocator.freed_count(x), 1u)
+        << name << ": restarted reader should unblock reclamation";
+
+    w.r().end_op(0);
+    w.r().flush_all();
+    EXPECT_EQ(w.r().stats().pending, 0u) << name;
+    EXPECT_EQ(w.allocator.live(), 0u) << name;
+  }
+}
+
+}  // namespace

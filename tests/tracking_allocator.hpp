@@ -1,0 +1,68 @@
+// Test-only allocator wrapper shared by the SMR suites: asserts no
+// pointer is freed twice or freed without having been allocated, and
+// exposes the live set so tests can check that a specific node survived
+// (or didn't survive) a reclamation pass.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "alloc/factory.hpp"
+
+namespace emr::test {
+
+class TrackingAllocator final : public alloc::Allocator {
+ public:
+  TrackingAllocator() {
+    alloc::AllocConfig cfg;
+    cfg.max_threads = 8;
+    inner_ = alloc::make_allocator("system", cfg);
+  }
+
+  void* allocate(int tid, std::size_t size) override {
+    void* p = inner_->allocate(tid, size);
+    live_.insert(p);
+    ++allocs_;
+    return p;
+  }
+
+  void deallocate(int tid, void* p) override {
+    ASSERT_EQ(live_.count(p), 1u) << "freed a pointer that is not live "
+                                     "(double free or foreign pointer)";
+    live_.erase(p);
+    ++frees_;
+    ++freed_counts_[p];
+    inner_->deallocate(tid, p);
+  }
+
+  alloc::AllocStats stats() const override { return inner_->stats(); }
+  const char* name() const override { return "tracking"; }
+
+  std::uint64_t allocs() const { return allocs_; }
+  std::uint64_t frees() const { return frees_; }
+  std::size_t live() const { return live_.size(); }
+  bool is_live(const void* p) const {
+    return live_.count(const_cast<void*>(p)) != 0;
+  }
+
+  /// How many times this exact address has been freed. Immune to the
+  /// address-reuse ambiguity of is_live(): an address the allocator
+  /// recycled still reports its earlier frees.
+  std::uint64_t freed_count(const void* p) const {
+    const auto it = freed_counts_.find(const_cast<void*>(p));
+    return it == freed_counts_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::unique_ptr<alloc::Allocator> inner_;
+  std::set<void*> live_;
+  std::map<void*, std::uint64_t> freed_counts_;
+  std::uint64_t allocs_ = 0;
+  std::uint64_t frees_ = 0;
+};
+
+}  // namespace emr::test

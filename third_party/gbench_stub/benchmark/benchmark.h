@@ -107,6 +107,16 @@ inline void DoNotOptimize(T const& value) {
   asm volatile("" : : "r,m"(value) : "memory");
 }
 
+// Entry points mirroring the real library so suites can define their own
+// main() (argument parsing is a no-op here).
+inline void Initialize(int*, char**) {}
+inline bool ReportUnrecognizedArguments(int, char**) { return false; }
+inline std::size_t RunSpecifiedBenchmarks() {
+  internal::run_all();
+  return internal::registry().size();
+}
+inline void Shutdown() {}
+
 }  // namespace benchmark
 
 #define BENCHMARK_STUB_CONCAT2(a, b) a##b
