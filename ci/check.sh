@@ -16,10 +16,30 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 # back to EBR aliasing (the binary exits non-zero on either violation).
 "$BUILD_DIR/bench_micro_smr" --smoke
 
+# Data-structure smoke: every ds x base-reclaimer pair model-checks
+# against std::set and accounts every node at teardown.
+"$BUILD_DIR/bench_micro_ds" --smoke
+
 # End-to-end: the Figure 1 sweep must produce a non-empty table + CSV.
 export EMR_MS="${EMR_MS:-30}" EMR_THREADS="${EMR_THREADS:-1 2}" \
        EMR_TRIALS=1 EMR_KEYRANGE="${EMR_KEYRANGE:-4096}" \
        EMR_OUT="$BUILD_DIR/emr_out"
 "$BUILD_DIR/bench_fig01_scaling"
 test -s "$BUILD_DIR/emr_out/fig01_scaling.csv"
+
+# TSAN: race-check the lock-free guarded traversals on every run. The
+# sanitized tree skips the bench binaries to keep the double build cheap;
+# the filter runs the multi-threaded reader/writer stress over every
+# guard protocol (debra/hp/ibr/nbr/debra_pool x abtree/occtree/dgt).
+TSAN_DIR="${TSAN_DIR:-build-tsan}"
+cmake -B "$TSAN_DIR" -S . -DEMR_SANITIZE=thread -DEMR_BUILD_BENCHES=OFF
+cmake --build "$TSAN_DIR" -j"$JOBS"
+if [ -x "$TSAN_DIR/test_ds" ]; then
+  "$TSAN_DIR/test_ds" --gtest_filter='*Concurrent*'
+else
+  # Without GTest the unit suites (and this race check) don't build;
+  # mirror the main build's degrade-with-a-warning behaviour.
+  echo "ci/check.sh: GTest not found, skipping the TSAN ds race check"
+fi
+
 echo "ci/check.sh: OK"

@@ -1,0 +1,23 @@
+// The repo's one test-and-set spinlock, shared by the locked data
+// structures (ds/shardedset.cpp shards, ds/occtree.cpp's writer lock).
+#pragma once
+
+#include <atomic>
+
+namespace emr {
+
+struct Spinlock {
+  std::atomic_flag flag = ATOMIC_FLAG_INIT;
+
+  void lock() {
+    while (flag.test_and_set(std::memory_order_acquire)) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    }
+  }
+
+  void unlock() { flag.clear(std::memory_order_release); }
+};
+
+}  // namespace emr

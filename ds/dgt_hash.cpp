@@ -1,0 +1,186 @@
+// DGT-style hash structure: a chained hash set whose buckets are
+// Harris-Michael lock-free sorted linked lists (Michael, "High
+// Performance Dynamic Lock-Free Hash Tables and List-Based Sets", SPAA
+// 2002). Deletion marks the victim's own next pointer (freezing it),
+// then unlinks it from the predecessor; insert/erase traversals (find)
+// help flush marked nodes — contains() instead restarts from the bucket
+// head on any marked word — and only the winner of the unlink CAS
+// retires the node.
+// Lookups take no lock anywhere: a traversal is one Guard, one protect()
+// per hop alternating two slots so the predecessor stays protected while
+// the successor is published, a mark check on every returned word, and a
+// validate() poll for NBR neutralization.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "core/rng.hpp"
+#include "ds/marked_ptr.hpp"
+#include "ds/set.hpp"
+
+namespace emr::ds {
+namespace {
+
+struct Node {
+  smr::NodeHeader hdr;
+  std::uint64_t key;
+  std::atomic<Node*> next;
+  // Pad to the paper's ~96 B DGT node (key + value payload + links).
+  char pad[96 - sizeof(smr::NodeHeader) - sizeof(std::uint64_t) -
+           sizeof(std::atomic<Node*>)];
+
+  explicit Node(std::uint64_t k) : key(k), next(nullptr) {}
+};
+static_assert(sizeof(Node) == 96);
+static_assert(std::is_standard_layout_v<Node>);
+
+class DgtHash final : public ConcurrentSet {
+ public:
+  DgtHash(const SetConfig& cfg, smr::Reclaimer* r) : r_(r) {
+    std::size_t want = std::max<std::uint64_t>(cfg.keyrange / 2, 64);
+    nbuckets_ = 1;
+    while (nbuckets_ < want) nbuckets_ <<= 1;
+    buckets_ = std::make_unique<std::atomic<Node*>[]>(nbuckets_);
+    for (std::size_t i = 0; i < nbuckets_; ++i) {
+      buckets_[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+
+  ~DgtHash() override {
+    // Single-threaded teardown: marked-but-unlinked nodes are still
+    // chained (only unlinked nodes were retired), so one walk per bucket
+    // reaches everything the structure still owns.
+    for (std::size_t i = 0; i < nbuckets_; ++i) {
+      Node* n = buckets_[i].load(std::memory_order_relaxed);
+      while (n != nullptr) {
+        Node* next = clear_mark(n->next.load(std::memory_order_relaxed));
+        r_->dealloc_unpublished(0, n);
+        n = next;
+      }
+    }
+  }
+
+  bool insert(int tid, std::uint64_t key) override {
+    smr::Guard g(*r_, tid);
+    std::atomic<Node*>& head = bucket(key);
+    Node* n = nullptr;
+    for (;;) {
+      const Pos pos = find(g, head, key);
+      if (pos.curr != nullptr && pos.curr->key == key) {
+        if (n != nullptr) r_->dealloc_unpublished(tid, n);
+        return false;
+      }
+      if (n == nullptr) n = smr::make_node<Node>(*r_, tid, key);
+      n->next.store(pos.curr, std::memory_order_relaxed);
+      Node* expected = pos.curr;
+      if (pos.pf->compare_exchange_strong(expected, n,
+                                          std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+  }
+
+  bool erase(int tid, std::uint64_t key) override {
+    smr::Guard g(*r_, tid);
+    std::atomic<Node*>& head = bucket(key);
+    for (;;) {
+      const Pos pos = find(g, head, key);
+      if (pos.curr == nullptr || pos.curr->key != key) return false;
+      Node* next = pos.curr->next.load(std::memory_order_acquire);
+      if (is_marked(next)) continue;  // a concurrent eraser owns it
+      // Logical delete: freeze curr's next with the mark. Losing this
+      // CAS means either a new successor (retry) or a rival eraser.
+      if (!pos.curr->next.compare_exchange_strong(
+              next, with_mark(next), std::memory_order_acq_rel)) {
+        continue;
+      }
+      // Physical unlink; on failure the next traversal through this
+      // bucket helps, and whoever wins that CAS retires.
+      Node* expected = pos.curr;
+      if (pos.pf->compare_exchange_strong(expected, next,
+                                          std::memory_order_acq_rel)) {
+        g.retire(pos.curr);
+      } else {
+        find(g, head, key);  // flush the marked node out now
+      }
+      return true;
+    }
+  }
+
+  bool contains(int tid, std::uint64_t key) override {
+    smr::Guard g(*r_, tid);
+    std::atomic<Node*>& head = bucket(key);
+  retry:
+    (void)g.validate();
+    std::atomic<Node*>* pf = &head;
+    for (int depth = 0;; ++depth) {
+      Node* curr = g.protect(depth & 1, *pf);
+      if (is_marked(curr)) goto retry;  // pf's owner died under us
+      if (curr == nullptr) return false;
+      if (!g.validate()) goto retry;  // NBR: old pointers now invalid
+      Node* next = curr->next.load(std::memory_order_acquire);
+      if (curr->key == key) return !is_marked(next);
+      if (curr->key > key) return false;
+      pf = &curr->next;
+    }
+  }
+
+  const char* name() const override { return "dgt"; }
+  std::size_t node_size() const override { return sizeof(Node); }
+
+ private:
+  struct Pos {
+    std::atomic<Node*>* pf;  // link that points at curr; owner protected
+    Node* curr;              // clean and protected, or nullptr
+  };
+
+  /// Positions at the first node with key >= `key`, physically unlinking
+  /// every marked node met on the way. Returns with pos.curr protected
+  /// and pos.pf's owning node protected in the other slot (or static).
+  Pos find(smr::Guard& g, std::atomic<Node*>& head, std::uint64_t key) {
+  retry:
+    (void)g.validate();
+    std::atomic<Node*>* pf = &head;
+    for (int depth = 0;; ++depth) {
+      Node* curr = g.protect(depth & 1, *pf);
+      if (is_marked(curr)) goto retry;
+      if (curr == nullptr) return {pf, nullptr};
+      if (!g.validate()) goto retry;
+      Node* next = curr->next.load(std::memory_order_acquire);
+      if (is_marked(next)) {
+        // curr is logically deleted: unlink it. Only the winner of the
+        // CAS retires, so the node leaves through retire exactly once.
+        Node* expected = curr;
+        if (pf->compare_exchange_strong(expected, clear_mark(next),
+                                        std::memory_order_acq_rel)) {
+          g.retire(curr);
+        }
+        goto retry;
+      }
+      if (curr->key >= key) return {pf, curr};
+      pf = &curr->next;
+    }
+  }
+
+  std::atomic<Node*>& bucket(std::uint64_t key) {
+    std::uint64_t s = key;
+    return buckets_[static_cast<std::size_t>(splitmix64(s)) &
+                    (nbuckets_ - 1)];
+  }
+
+  smr::Reclaimer* r_;
+  std::size_t nbuckets_;
+  std::unique_ptr<std::atomic<Node*>[]> buckets_;
+};
+
+}  // namespace
+
+std::unique_ptr<ConcurrentSet> make_dgt_hash(const SetConfig& cfg,
+                                             smr::Reclaimer* r) {
+  return std::make_unique<DgtHash>(cfg, r);
+}
+
+std::size_t dgt_node_size() { return sizeof(Node); }
+
+}  // namespace emr::ds

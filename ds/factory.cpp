@@ -1,0 +1,45 @@
+#include <stdexcept>
+
+#include "ds/set.hpp"
+
+namespace emr::ds {
+
+namespace {
+
+[[noreturn]] void throw_unknown(const std::string& name) {
+  std::string msg = "unknown ds: '" + name + "' (valid:";
+  for (const std::string& n : set_names()) msg += " " + n;
+  msg += ")";
+  throw std::invalid_argument(msg);
+}
+
+}  // namespace
+
+std::unique_ptr<ConcurrentSet> make_set(const std::string& name,
+                                        const SetConfig& cfg,
+                                        smr::Reclaimer* reclaimer) {
+  if (reclaimer == nullptr) {
+    throw std::invalid_argument("make_set: reclaimer unset");
+  }
+  if (name == "abtree") return make_abtree(cfg, reclaimer);
+  if (name == "occtree") return make_occtree(cfg, reclaimer);
+  if (name == "dgt") return make_dgt_hash(cfg, reclaimer);
+  if (name == "shardedset") return make_shardedset(cfg, reclaimer);
+  throw_unknown(name);
+}
+
+const std::vector<std::string>& set_names() {
+  static const std::vector<std::string> kNames = {"abtree", "occtree", "dgt",
+                                                  "shardedset"};
+  return kNames;
+}
+
+std::size_t node_size_for_ds(const std::string& name) {
+  if (name == "abtree") return abtree_node_size();
+  if (name == "occtree") return occtree_node_size();
+  if (name == "dgt") return dgt_node_size();
+  if (name == "shardedset") return shardedset_node_size();
+  throw_unknown(name);
+}
+
+}  // namespace emr::ds

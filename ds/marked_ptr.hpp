@@ -1,0 +1,32 @@
+// Low-bit pointer tagging for the lock-free structures. A set mark bit
+// on a link means the node that *owns the link* is logically deleted
+// (Harris's convention): its outgoing pointers are frozen, and any
+// traversal that reads a marked word must restart from a structure root
+// instead of dereferencing through it. Reclaimer protect() calls return
+// the raw word, so the mark survives publication and the reader can
+// detect a source node that died under it.
+#pragma once
+
+#include <cstdint>
+
+namespace emr::ds {
+
+inline constexpr std::uintptr_t kMarkBit = 1;
+
+template <typename T>
+inline T* with_mark(T* p) {
+  return reinterpret_cast<T*>(reinterpret_cast<std::uintptr_t>(p) | kMarkBit);
+}
+
+template <typename T>
+inline bool is_marked(const T* p) {
+  return (reinterpret_cast<std::uintptr_t>(p) & kMarkBit) != 0;
+}
+
+template <typename T>
+inline T* clear_mark(T* p) {
+  return reinterpret_cast<T*>(reinterpret_cast<std::uintptr_t>(p) &
+                              ~kMarkBit);
+}
+
+}  // namespace emr::ds

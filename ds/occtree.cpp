@@ -1,0 +1,167 @@
+// OCC-flavoured external (leaf-oriented) BST: internal nodes carry only
+// routing keys (smallest key of the right subtree) and exactly two
+// children; keys live in the leaves. Writers serialize on one lock, as
+// in Bronson's optimistic tree the paper benchmarks; readers are
+// completely lock-free and optimistic — one Guard, a protect() per hop
+// alternating two slots, and a mark check on every returned word.
+// Removal freezes the doomed parent by marking both of its child links
+// before swinging the grandparent past it, so a reader that validated a
+// pointer out of a node that died mid-traversal always sees the mark and
+// restarts from the root instead of stepping onto a retired child (the
+// tree analogue of Michael's ⟨mark,next⟩ recheck).
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+#include "core/spinlock.hpp"
+#include "ds/marked_ptr.hpp"
+#include "ds/set.hpp"
+
+namespace emr::ds {
+namespace {
+
+struct Node {
+  smr::NodeHeader hdr;        // 8
+  std::uint64_t key;          // 8: leaf key, or routing separator
+  std::atomic<Node*> left;    // 8: both null <=> leaf
+  std::atomic<Node*> right;   // 8
+  char pad[64 - sizeof(smr::NodeHeader) - sizeof(std::uint64_t) -
+           2 * sizeof(std::atomic<Node*>)];
+
+  Node(std::uint64_t k, Node* l, Node* r) : key(k), left(l), right(r) {}
+};
+static_assert(sizeof(Node) == 64);
+static_assert(std::is_standard_layout_v<Node>);
+
+class OccTree final : public ConcurrentSet {
+ public:
+  explicit OccTree(smr::Reclaimer* r) : r_(r) {
+    root_.store(nullptr, std::memory_order_relaxed);
+  }
+
+  ~OccTree() override {
+    free_subtree(root_.load(std::memory_order_relaxed));
+  }
+
+  bool insert(int tid, std::uint64_t key) override {
+    smr::Guard g(*r_, tid);
+    lock_.lock();
+    Node* curr = root_.load(std::memory_order_relaxed);
+    if (curr == nullptr) {
+      root_.store(smr::make_node<Node>(*r_, tid, key, nullptr, nullptr),
+                  std::memory_order_release);
+      lock_.unlock();
+      return true;
+    }
+    std::atomic<Node*>* pf = &root_;
+    while (curr->left.load(std::memory_order_relaxed) != nullptr) {
+      pf = key < curr->key ? &curr->left : &curr->right;
+      curr = pf->load(std::memory_order_relaxed);
+    }
+    if (curr->key == key) {
+      lock_.unlock();
+      return false;
+    }
+    // Replace the leaf with a router over {old leaf, new leaf}; the old
+    // leaf stays in the tree, so nothing is retired on insert.
+    Node* fresh = smr::make_node<Node>(*r_, tid, key, nullptr, nullptr);
+    Node* small = key < curr->key ? fresh : curr;
+    Node* big = key < curr->key ? curr : fresh;
+    Node* router = smr::make_node<Node>(*r_, tid, big->key, small, big);
+    pf->store(router, std::memory_order_release);
+    lock_.unlock();
+    return true;
+  }
+
+  bool erase(int tid, std::uint64_t key) override {
+    smr::Guard g(*r_, tid);
+    lock_.lock();
+    Node* curr = root_.load(std::memory_order_relaxed);
+    if (curr == nullptr) {
+      lock_.unlock();
+      return false;
+    }
+    Node* parent = nullptr;
+    std::atomic<Node*>* pf = &root_;   // link to curr
+    std::atomic<Node*>* gpf = nullptr; // link to parent
+    while (curr->left.load(std::memory_order_relaxed) != nullptr) {
+      gpf = pf;
+      parent = curr;
+      pf = key < curr->key ? &curr->left : &curr->right;
+      curr = pf->load(std::memory_order_relaxed);
+    }
+    if (curr->key != key) {
+      lock_.unlock();
+      return false;
+    }
+    if (parent == nullptr) {
+      root_.store(nullptr, std::memory_order_release);
+      g.retire(curr);
+      lock_.unlock();
+      return true;
+    }
+    std::atomic<Node*>& sibf =
+        pf == &parent->left ? parent->right : parent->left;
+    Node* sibling = sibf.load(std::memory_order_relaxed);
+    // Freeze the doomed parent (readers mid-hop see the marks and
+    // restart), then swing the grandparent past it.
+    parent->left.store(
+        with_mark(parent->left.load(std::memory_order_relaxed)),
+        std::memory_order_release);
+    parent->right.store(
+        with_mark(parent->right.load(std::memory_order_relaxed)),
+        std::memory_order_release);
+    gpf->store(sibling, std::memory_order_release);
+    g.retire(parent);
+    g.retire(curr);
+    lock_.unlock();
+    return true;
+  }
+
+  bool contains(int tid, std::uint64_t key) override {
+    smr::Guard g(*r_, tid);
+  retry:
+    (void)g.validate();
+    Node* curr = g.protect(0, root_);  // the root link is never marked
+    if (curr == nullptr) return false;
+    for (int depth = 0;;) {
+      if (!g.validate()) goto retry;  // NBR: old pointers now invalid
+      Node* l = curr->left.load(std::memory_order_acquire);
+      if (is_marked(l)) goto retry;   // curr is frozen (being unlinked)
+      if (l == nullptr) return curr->key == key;  // external: a leaf
+      std::atomic<Node*>& field =
+          key < curr->key ? curr->left : curr->right;
+      ++depth;
+      Node* next = g.protect(depth & 1, field);
+      if (is_marked(next) || next == nullptr) goto retry;
+      curr = next;
+    }
+  }
+
+  const char* name() const override { return "occtree"; }
+  std::size_t node_size() const override { return sizeof(Node); }
+
+ private:
+  void free_subtree(Node* n) {
+    if (n == nullptr) return;
+    free_subtree(clear_mark(n->left.load(std::memory_order_relaxed)));
+    free_subtree(clear_mark(n->right.load(std::memory_order_relaxed)));
+    r_->dealloc_unpublished(0, n);
+  }
+
+  smr::Reclaimer* r_;
+  Spinlock lock_;
+  std::atomic<Node*> root_;
+};
+
+}  // namespace
+
+std::unique_ptr<ConcurrentSet> make_occtree(const SetConfig& cfg,
+                                            smr::Reclaimer* r) {
+  (void)cfg;
+  return std::make_unique<OccTree>(r);
+}
+
+std::size_t occtree_node_size() { return sizeof(Node); }
+
+}  // namespace emr::ds

@@ -5,10 +5,12 @@
 #include <chrono>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "alloc/factory.hpp"
 #include "core/env.hpp"
 #include "core/timing.hpp"
+#include "ds/set.hpp"
 #include "smr/factory.hpp"
 #include "smr/free_executor.hpp"
 
@@ -86,9 +88,48 @@ std::vector<int> thread_sweep_from_env(std::vector<int> def) {
 }
 
 std::size_t node_size_for_ds(const std::string& ds) {
-  if (ds == "occtree") return 64;   // compact OCC nodes: light alloc traffic
-  if (ds == "dgt") return 96;       // external BST with ticket-lock word
-  return 240;                       // abtree: the paper's fat B-tree nodes
+  return ds::node_size_for_ds(ds);  // sizeof the structure's real nodes
+}
+
+namespace {
+
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += " ";
+    out += n;
+  }
+  return out;
+}
+
+bool known_name(const std::vector<std::string>& names,
+                const std::string& name) {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+}  // namespace
+
+void validate_config(const TrialConfig& cfg) {
+  if (cfg.insert_frac < 0.0 || cfg.erase_frac < 0.0 ||
+      cfg.insert_frac > 1.0 || cfg.erase_frac > 1.0 ||
+      cfg.insert_frac + cfg.erase_frac > 1.0) {
+    throw std::invalid_argument(
+        "invalid op mix: insert_frac=" + std::to_string(cfg.insert_frac) +
+        " erase_frac=" + std::to_string(cfg.erase_frac) +
+        " (each must be in [0,1] and sum to at most 1)");
+  }
+  // The ds name is not re-checked here: ds::make_set (run from Trial's
+  // constructor right after this) already fails fast listing set_names().
+  if (!known_name(smr::all_factory_names(), cfg.reclaimer)) {
+    throw std::invalid_argument(
+        "unknown reclaimer: '" + cfg.reclaimer +
+        "' (valid: " + join_names(smr::all_factory_names()) + ")");
+  }
+  if (!known_name(alloc::allocator_names(), cfg.allocator)) {
+    throw std::invalid_argument(
+        "unknown allocator: '" + cfg.allocator +
+        "' (valid: " + join_names(alloc::allocator_names()) + ")");
+  }
 }
 
 // -------------------------------------------------------------- opstream
@@ -115,167 +156,32 @@ Op OpStream::next() {
   return op;
 }
 
-// -------------------------------------------------------------- workload
+// ----------------------------------------------------------------- trial
 
 namespace {
 
-std::uint64_t mix_key(std::uint64_t k) {
-  std::uint64_t s = k;
-  return splitmix64(s);
-}
-
-struct Spinlock {
-  std::atomic_flag flag = ATOMIC_FLAG_INIT;
-  void lock() {
-    while (flag.test_and_set(std::memory_order_acquire)) {
-#if defined(__x86_64__) || defined(__i386__)
-      __builtin_ia32_pause();
-#endif
-    }
+/// Deterministic half-full prefill through the normal op path on tid 0:
+/// every even key, in an order shuffled from the trial seed so the
+/// unbalanced occtree is not built from a sorted stream (which would
+/// degenerate it into a list).
+void prefill(ds::ConcurrentSet& set, const TrialConfig& cfg) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(static_cast<std::size_t>(cfg.keyrange / 2 + 1));
+  for (std::uint64_t k = 0; k < cfg.keyrange; k += 2) keys.push_back(k);
+  // Distinct xor constant: seed ^ golden-ratio is already tid 0's
+  // OpStream seed, and the prefill order must not correlate with it.
+  Rng rng(cfg.seed ^ 0xC3A5C85C97CB3127ULL);
+  for (std::size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.next_range(i)]);
   }
-  void unlock() { flag.clear(std::memory_order_release); }
-};
-
-struct Node {
-  std::uint64_t key;
-  std::atomic<Node*> next;
-};
-
-void* load_next(const void* src) {
-  return static_cast<const std::atomic<Node*>*>(src)->load(
-      std::memory_order_acquire);
+  for (std::uint64_t k : keys) set.insert(0, k);
 }
 
 }  // namespace
 
-/// Sharded chained hash set. Every node comes from the reclaimer (so
-/// pooling can intercept it) and leaves through retire(); traversals call
-/// protect() per hop so pointer-protecting schemes pay their read-side
-/// cost. Shard spinlocks keep mutations simple — the contention under
-/// study lives in the allocator, not the structure.
-class Workload {
- public:
-  Workload(const TrialConfig& cfg, smr::Reclaimer* reclaimer,
-           alloc::Allocator* allocator)
-      : node_size_(std::max(node_size_for_ds(cfg.ds), sizeof(Node))),
-        reclaimer_(reclaimer),
-        allocator_(allocator) {
-    std::size_t want = std::max<std::uint64_t>(cfg.keyrange / 2, 64);
-    nbuckets_ = 1;
-    while (nbuckets_ < want) nbuckets_ <<= 1;
-    buckets_ = std::make_unique<std::atomic<Node*>[]>(nbuckets_);
-    for (std::size_t i = 0; i < nbuckets_; ++i) buckets_[i].store(nullptr);
-    locks_ = std::make_unique<Spinlock[]>(kShards);
-  }
-
-  ~Workload() {
-    for (std::size_t i = 0; i < nbuckets_; ++i) {
-      Node* n = buckets_[i].load(std::memory_order_relaxed);
-      while (n != nullptr) {
-        Node* next = n->next.load(std::memory_order_relaxed);
-        allocator_->deallocate(0, n);
-        n = next;
-      }
-    }
-  }
-
-  bool insert(int tid, std::uint64_t key) {
-    const std::size_t b = bucket_of(key);
-    Spinlock& lock = locks_[b & (kShards - 1)];
-    lock.lock();
-    Node* head = buckets_[b].load(std::memory_order_relaxed);
-    for (Node* n = head; n != nullptr;
-         n = n->next.load(std::memory_order_relaxed)) {
-      if (n->key == key) {
-        lock.unlock();
-        return false;
-      }
-    }
-    Node* node =
-        static_cast<Node*>(reclaimer_->alloc_node(tid, node_size_));
-    node->key = key;
-    node->next.store(head, std::memory_order_relaxed);
-    buckets_[b].store(node, std::memory_order_release);
-    lock.unlock();
-    return true;
-  }
-
-  bool erase(int tid, std::uint64_t key) {
-    const std::size_t b = bucket_of(key);
-    Spinlock& lock = locks_[b & (kShards - 1)];
-    lock.lock();
-    Node* prev = nullptr;
-    Node* n = buckets_[b].load(std::memory_order_relaxed);
-    while (n != nullptr && n->key != key) {
-      prev = n;
-      n = n->next.load(std::memory_order_relaxed);
-    }
-    if (n == nullptr) {
-      lock.unlock();
-      return false;
-    }
-    Node* next = n->next.load(std::memory_order_relaxed);
-    if (prev == nullptr) {
-      buckets_[b].store(next, std::memory_order_release);
-    } else {
-      prev->next.store(next, std::memory_order_release);
-    }
-    lock.unlock();
-    reclaimer_->retire(tid, n);
-    return true;
-  }
-
-  bool lookup(int tid, std::uint64_t key) {
-    const std::size_t b = bucket_of(key);
-    Spinlock& lock = locks_[b & (kShards - 1)];
-    lock.lock();
-    int hop = 0;
-    Node* n = static_cast<Node*>(
-        reclaimer_->protect(tid, hop, load_next, &buckets_[b]));
-    bool found = false;
-    while (n != nullptr) {
-      if (n->key == key) {
-        found = true;
-        break;
-      }
-      ++hop;
-      // Slot choice is the reclaimer's business: schemes mod the index
-      // by their configured slot count (EMR_HP_SLOTS).
-      n = static_cast<Node*>(
-          reclaimer_->protect(tid, hop, load_next, &n->next));
-    }
-    lock.unlock();
-    return found;
-  }
-
-  /// Deterministic half-full prefill: every even key, inserted through
-  /// the normal op path on tid 0.
-  void prefill(std::uint64_t keyrange) {
-    for (std::uint64_t k = 0; k < keyrange; k += 2) {
-      reclaimer_->begin_op(0);
-      insert(0, k);
-      reclaimer_->end_op(0);
-    }
-  }
-
- private:
-  static constexpr std::size_t kShards = 256;
-
-  std::size_t bucket_of(std::uint64_t key) const {
-    return static_cast<std::size_t>(mix_key(key)) & (nbuckets_ - 1);
-  }
-
-  std::size_t node_size_;
-  std::size_t nbuckets_;
-  smr::Reclaimer* reclaimer_;
-  alloc::Allocator* allocator_;
-  std::unique_ptr<std::atomic<Node*>[]> buckets_;
-  std::unique_ptr<Spinlock[]> locks_;
-};
-
-// ----------------------------------------------------------------- trial
-
 Trial::Trial(const TrialConfig& cfg) : cfg_(cfg) {
+  validate_config(cfg_);
+
   alloc::AllocConfig acfg = cfg_.alloc;
   acfg.max_threads = std::max(cfg_.nthreads, 1);
   allocator_ = alloc::make_allocator(cfg_.allocator, acfg);
@@ -288,8 +194,10 @@ Trial::Trial(const TrialConfig& cfg) : cfg_(cfg) {
   ctx.garbage = &garbage_;
   bundle_ = smr::make_reclaimer(cfg_.reclaimer, ctx, scfg);
 
-  workload_ = std::make_unique<Workload>(cfg_, bundle_.reclaimer.get(),
-                                         allocator_.get());
+  ds::SetConfig dcfg;
+  dcfg.keyrange = cfg_.keyrange;
+  dcfg.num_threads = std::max(cfg_.nthreads, 1);
+  set_ = ds::make_set(cfg_.ds, dcfg, bundle_.reclaimer.get());
 }
 
 Trial::~Trial() = default;
@@ -301,7 +209,7 @@ TrialResult Trial::run() {
   // Instruments stay disarmed through the prefill.
   timeline_.reset(cfg_.nthreads, 0, cfg_.timeline_min_duration_ns, false);
   garbage_.reset(false);
-  workload_->prefill(cfg_.keyrange);
+  prefill(*set_, cfg_);
 
   const int nthreads = std::max(cfg_.nthreads, 1);
   std::atomic<bool> go{false};
@@ -313,24 +221,23 @@ TrialResult Trial::run() {
   for (int tid = 0; tid < nthreads; ++tid) {
     workers.emplace_back([&, tid] {
       OpStream ops(cfg_, tid);
-      smr::Reclaimer& r = *bundle_.reclaimer;
+      ds::ConcurrentSet& set = *set_;
       while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
       std::uint64_t done = 0;
       while (!stop.load(std::memory_order_relaxed)) {
         const Op op = ops.next();
-        r.begin_op(tid);
+        // Each ds operation opens its own smr::Guard (begin_op/end_op).
         switch (op.kind) {
           case Op::kInsert:
-            workload_->insert(tid, op.key);
+            set.insert(tid, op.key);
             break;
           case Op::kErase:
-            workload_->erase(tid, op.key);
+            set.erase(tid, op.key);
             break;
           case Op::kLookup:
-            workload_->lookup(tid, op.key);
+            set.contains(tid, op.key);
             break;
         }
-        r.end_op(tid);
         ++done;
       }
       counts[static_cast<std::size_t>(tid)] = done;

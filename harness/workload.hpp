@@ -15,10 +15,14 @@
 #include "core/timeline.hpp"
 #include "smr/reclaimer.hpp"
 
+namespace emr::ds {
+class ConcurrentSet;
+}
+
 namespace emr::harness {
 
 struct TrialConfig {
-  std::string ds = "abtree";      // abtree | occtree | dgt
+  std::string ds = "abtree";      // abtree | occtree | dgt | shardedset
   std::string reclaimer = "debra";
   std::string allocator = "je";
   int nthreads = 4;
@@ -40,14 +44,21 @@ struct TrialConfig {
 /// caller-set defaults always win when the environment is silent.
 void apply_env_overrides(TrialConfig& cfg);
 
+/// Fails fast on an inconsistent config: op fractions outside [0, 1] or
+/// summing past 1, and unknown ds / reclaimer / allocator names each
+/// throw std::invalid_argument naming the valid choices instead of
+/// silently defaulting. Trial's constructor runs this on every config.
+void validate_config(const TrialConfig& cfg);
+
 /// A TrialConfig built from defaults + every EMR_* override.
 TrialConfig config_from_env();
 
 /// EMR_THREADS ("1 2 4" or "6,12,24") or `def` when unset/invalid.
 std::vector<int> thread_sweep_from_env(std::vector<int> def);
 
-/// Per-data-structure node size in bytes (the paper's ABtree nodes are
-/// ~240B; the OCCtree's are small; DGT sits between).
+/// Node size in bytes per data structure, derived from sizeof the real
+/// node types in ds/ (abtree leaves are the paper's fat ~240 B nodes;
+/// occtree's are compact; dgt sits between). Throws on unknown names.
 std::size_t node_size_for_ds(const std::string& ds);
 
 struct Op {
@@ -101,11 +112,9 @@ struct AggregateResult {
   int trials = 0;
 };
 
-class Workload;  // internal data-structure driver
-
-/// One configured run: builds allocator + reclaimer + structure, prefills
-/// to keyrange/2, runs the op mix on nthreads threads for measure_ms, and
-/// leaves instruments readable until destruction.
+/// One configured run: builds allocator + reclaimer + ds/ structure,
+/// prefills to keyrange/2, runs the op mix on nthreads threads for
+/// measure_ms, and leaves instruments readable until destruction.
 class Trial {
  public:
   explicit Trial(const TrialConfig& cfg);
@@ -121,6 +130,7 @@ class Trial {
   GarbageCensus& garbage() { return garbage_; }
   smr::Reclaimer& reclaimer() { return *bundle_.reclaimer; }
   alloc::Allocator& allocator() { return *allocator_; }
+  ds::ConcurrentSet& set() { return *set_; }
   const TrialConfig& config() const { return cfg_; }
 
  private:
@@ -129,7 +139,9 @@ class Trial {
   GarbageCensus garbage_;
   std::unique_ptr<alloc::Allocator> allocator_;
   smr::ReclaimerBundle bundle_;
-  std::unique_ptr<Workload> workload_;
+  // Declared after the bundle: the structure's destructor returns its
+  // reachable nodes through the reclaimer, so it must be destroyed first.
+  std::unique_ptr<ds::ConcurrentSet> set_;
   bool ran_ = false;
 };
 

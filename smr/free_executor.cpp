@@ -11,7 +11,12 @@ FreeExecutor::FreeExecutor(const SmrContext& ctx, const SmrConfig& cfg)
     : ctx_(ctx), cfg_(cfg) {}
 
 void* FreeExecutor::alloc_node(int tid, std::size_t size) {
-  return ctx_.allocator->allocate(tid, size);
+  // Every node must have room for the reclaimer-owned intrusive header,
+  // and the header must never be indeterminate: schemes that don't stamp
+  // birth eras would otherwise hand make_node() uninitialized bytes.
+  void* p = ctx_.allocator->allocate(tid, std::max(size, sizeof(NodeHeader)));
+  static_cast<NodeHeader*>(p)->birth_era = 0;
+  return p;
 }
 
 void FreeExecutor::timed_free(int tid, void* p) {
@@ -107,7 +112,9 @@ void* PoolingFreeExecutor::alloc_node(int tid, std::size_t size) {
     freed_.fetch_add(1, std::memory_order_relaxed);  // left limbo via reuse
     return p;
   }
-  return ctx_.allocator->allocate(tid, size);
+  void* p = ctx_.allocator->allocate(tid, std::max(size, sizeof(NodeHeader)));
+  static_cast<NodeHeader*>(p)->birth_era = 0;
+  return p;
 }
 
 void PoolingFreeExecutor::on_op_end(int tid) {

@@ -18,12 +18,12 @@
 //         reproduction's bounded stand-in and is strictly more
 //         conservative on the reclamation side.)
 //
-// Birth eras live in a sharded pointer->era side table rather than in an
-// intrusive node header, so the workload's node layout and the
-// allocators' accounting stay byte-identical across every scheme.
+// Birth eras live in the intrusive smr::NodeHeader at the front of every
+// node: alloc_node stamps the current era there and retire() reads it
+// back, so a node's lifetime interval travels with the node itself (the
+// IBR paper's birth_epoch field) instead of through a locked side table.
 #include <algorithm>
 #include <atomic>
-#include <unordered_map>
 #include <vector>
 
 #include "core/timing.hpp"
@@ -33,64 +33,6 @@ namespace emr::smr::internal {
 namespace {
 
 constexpr int kWfeValidateBound = 4;
-
-struct BirthSpinlock {
-  std::atomic_flag flag = ATOMIC_FLAG_INIT;
-  void lock() {
-    while (flag.test_and_set(std::memory_order_acquire)) {
-#if defined(__x86_64__) || defined(__i386__)
-      __builtin_ia32_pause();
-#endif
-    }
-  }
-  void unlock() { flag.clear(std::memory_order_release); }
-};
-
-/// Pointer -> birth-era map, sharded to keep alloc-path contention off
-/// the benchmarks. Stamps are erased when a node leaves limbo (and
-/// re-stamped on reuse), so the table is bounded by live + pending
-/// nodes; a missing entry reads as era 0, which only widens the node's
-/// interval (safe).
-class BirthMap {
- public:
-  void stamp(const void* p, std::uint64_t era) {
-    Shard& s = shard(p);
-    s.mu.lock();
-    s.map.insert_or_assign(p, era);
-    s.mu.unlock();
-  }
-
-  std::uint64_t birth(const void* p) {
-    Shard& s = shard(p);
-    s.mu.lock();
-    const auto it = s.map.find(p);
-    const std::uint64_t era = it == s.map.end() ? 0 : it->second;
-    s.mu.unlock();
-    return era;
-  }
-
-  void erase(const void* p) {
-    Shard& s = shard(p);
-    s.mu.lock();
-    s.map.erase(p);
-    s.mu.unlock();
-  }
-
- private:
-  static constexpr std::size_t kShards = 64;
-
-  struct alignas(64) Shard {
-    BirthSpinlock mu;
-    std::unordered_map<const void*, std::uint64_t> map;
-  };
-
-  Shard& shard(const void* p) {
-    const std::uintptr_t v = reinterpret_cast<std::uintptr_t>(p);
-    return shards_[(v >> 4) & (kShards - 1)];
-  }
-
-  Shard shards_[kShards];
-};
 
 struct RetiredNode {
   void* p;
@@ -132,7 +74,8 @@ class EraReclaimer final : public Reclaimer {
         ctx_(ctx),
         cfg_(cfg),
         executor_(executor),
-        nslots_(std::max<std::size_t>(cfg.hp_slots, 1)),
+        // Floor of 2 for the ds/ hand-over-hand slot alternation.
+        nslots_(std::max<std::size_t>(cfg.hp_slots, 2)),
         epoch_freq_(std::max<std::size_t>(cfg.epoch_freq, 1)),
         threads_(static_cast<std::size_t>(std::max(cfg.num_threads, 1))) {
     for (EraThread& t : threads_) {
@@ -203,14 +146,18 @@ class EraReclaimer final : public Reclaimer {
     EraThread& t = slot(tid);
     retired_.fetch_add(1, std::memory_order_relaxed);
     const std::uint64_t e = era_.load(std::memory_order_acquire);
-    t.retired.push_back(RetiredNode{p, birth_.birth(p), e});
+    const std::uint64_t birth = static_cast<const NodeHeader*>(p)->birth_era;
+    t.retired.push_back(RetiredNode{p, birth, e});
     if (t.retired.size() >= t.scan_at) scan(tid, t);
   }
 
   void* alloc_node(int tid, std::size_t size) override {
     void* p = executor_->alloc_node(tid, size);
     EraThread& t = slot(tid);
-    birth_.stamp(p, era_.load(std::memory_order_relaxed));
+    // Stamp the intrusive header; pool-recycled nodes are re-stamped here
+    // every time they leave limbo through alloc_node.
+    static_cast<NodeHeader*>(p)->birth_era =
+        era_.load(std::memory_order_relaxed);
     if (++t.allocs % epoch_freq_ == 0) advance_era(tid);
     return p;
   }
@@ -234,10 +181,7 @@ class EraReclaimer final : public Reclaimer {
       if (!t.retired.empty()) {
         std::vector<void*> bag;
         bag.reserve(t.retired.size());
-        for (const RetiredNode& n : t.retired) {
-          birth_.erase(n.p);
-          bag.push_back(n.p);
-        }
+        for (const RetiredNode& n : t.retired) bag.push_back(n.p);
         t.retired.clear();
         t.scan_at = std::max<std::size_t>(cfg_.batch_size, 1);
         executor_->on_reclaimable(tid, std::move(bag));
@@ -353,7 +297,6 @@ class EraReclaimer final : public Reclaimer {
       if (reserved(snap, n)) {
         keep.push_back(n);
       } else {
-        birth_.erase(n.p);  // leaving limbo; re-stamped if reused
         bag.push_back(n.p);
       }
     }
@@ -376,7 +319,6 @@ class EraReclaimer final : public Reclaimer {
   std::size_t nslots_;
   std::size_t epoch_freq_;
   std::vector<EraThread> threads_;
-  BirthMap birth_;
   std::atomic<std::uint64_t> era_{1};
   std::atomic<std::uint64_t> retired_{0};
 };

@@ -35,7 +35,9 @@ class HpReclaimer final : public Reclaimer {
         cfg_(cfg),
         executor_(executor),
         nthreads_(std::max(cfg.num_threads, 1)),
-        nslots_(std::max<std::size_t>(cfg.hp_slots, 1)),
+        // Floor of 2: the ds/ traversals alternate two slots so the
+        // previous hop stays protected while the next one publishes.
+        nslots_(std::max<std::size_t>(cfg.hp_slots, 2)),
         threads_(static_cast<std::size_t>(nthreads_)) {
     // Michael's R: a scan can only free anything once the list exceeds
     // the total hazard count H = N*K, so the effective threshold is the

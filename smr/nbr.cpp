@@ -8,19 +8,22 @@
 // reader's next protect() honours by restarting its announcement at the
 // current era. A retired node is handed to the FreeExecutor once every
 // active announcement is newer than the node's retire era, so an
-// unresponsive reader (one that never calls protect again) is never
+// unresponsive reader (one that never calls validate again) is never
 // yanked.
 //
 // Restart contract: exactly as after the original's longjmp, a restart
-// invalidates every pointer obtained earlier in the read block —
-// including the source operand of the restarting protect() call itself.
-// A caller is only safe if each protect() source is re-derivable at
-// restart time: a structure root, or a node covered by protection the
-// scheme cannot revoke. The harness satisfies this by holding the shard
-// spinlock across its traversals (nodes on the path cannot be retired
-// mid-block); a lock-free caller would need to detect the restart and
-// re-traverse from the root, which this flag-based approximation cannot
-// force the way a signal can. See docs/SMR_SCHEMES.md.
+// invalidates every pointer obtained earlier in the read block. The
+// restart lives in validate(), not protect(): protect() is a plain load
+// that never moves the announcement, and a traversal polls validate()
+// once per hop — false means the thread was neutralized, the
+// announcement has been re-entered at the current era, and the caller
+// must drop every pointer it holds and re-traverse from a structure
+// root (exactly what the ds/ traversal loops do). Keeping the restart
+// out of protect() means a neutralization can never silently invalidate
+// the very pointer a protect() call is about to return — the flag-based
+// approximation's footgun in the previous revision. A reader that never
+// polls validate() simply keeps its old announcement and blocks
+// reclamation, which is safe. See docs/SMR_SCHEMES.md.
 //
 //   nbr     - neutralize on every scan (each time the list reaches the
 //             batch threshold), like the original's per-full-list
@@ -88,20 +91,22 @@ class NbrReclaimer final : public Reclaimer {
     executor_->on_op_end(tid);
   }
 
-  void* protect(int tid, int, LoadFn load, const void* src) override {
+  void* protect(int, int, LoadFn load, const void* src) override {
+    return load(src);  // reads are plain; the announcement is the shield
+  }
+
+  bool validate(int tid) override {
     NbrThread& t = slot(tid);
-    if (t.neutralize.load(std::memory_order_relaxed)) {
-      // Restart the read block: drop the old announcement and re-enter
-      // at the current era (the signal handler's longjmp analogue).
-      // Per the restart contract above, earlier pointers in this block —
-      // `src` included — must be re-derivable by the caller from here.
-      t.neutralize.store(false, std::memory_order_relaxed);
-      t.start.store(era_.load(std::memory_order_acquire),
-                    std::memory_order_seq_cst);
-      std::atomic_thread_fence(std::memory_order_seq_cst);
-      neutralized_.fetch_add(1, std::memory_order_relaxed);
-    }
-    return load(src);
+    if (!t.neutralize.load(std::memory_order_relaxed)) return true;
+    // Restart the read block: drop the old announcement and re-enter at
+    // the current era (the signal handler's longjmp analogue). Every
+    // pointer the caller obtained earlier in this block is now invalid.
+    t.neutralize.store(false, std::memory_order_relaxed);
+    t.start.store(era_.load(std::memory_order_acquire),
+                  std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    neutralized_.fetch_add(1, std::memory_order_relaxed);
+    return false;
   }
 
   void retire(int tid, void* p) override {

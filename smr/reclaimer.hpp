@@ -17,7 +17,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "alloc/allocator.hpp"
@@ -52,6 +55,18 @@ struct SmrContext {
   alloc::Allocator* allocator = nullptr;
   Timeline* timeline = nullptr;
   GarbageCensus* garbage = nullptr;
+};
+
+/// Intrusive per-node header. Every pointer that flows through
+/// alloc_node()/retire() must begin with one of these, and the bytes are
+/// owned by the reclaimer: the era-clock schemes (he/ibr/wfe) stamp the
+/// node's birth era here at allocation and read it back at retire, so a
+/// node's lifetime interval travels with the node instead of through a
+/// locked side table. Callers must never write to the header — allocate
+/// with make_node<T>() (which preserves the stamp across construction)
+/// or leave the first sizeof(NodeHeader) bytes untouched.
+struct NodeHeader {
+  std::uint64_t birth_era;
 };
 
 struct SmrStats {
@@ -161,9 +176,25 @@ class Reclaimer {
   /// Loads a pointer through `load(src)` under this scheme's protection
   /// (hazard-pointer-class schemes publish + fence + validate; epoch
   /// schemes are a plain load). `idx` selects the protection slot; any
-  /// non-negative value is accepted (taken mod the slot count).
+  /// non-negative value is accepted (taken mod the slot count). The
+  /// returned word is exactly what `load` produced — tag bits a structure
+  /// keeps in the low pointer bits come back intact, and a tagged result
+  /// means the source node is being unlinked (restart from a root rather
+  /// than dereferencing it).
   using LoadFn = void* (*)(const void* src);
   virtual void* protect(int tid, int idx, LoadFn load, const void* src) = 0;
+
+  /// Read-side validation hook: true while every pointer obtained earlier
+  /// in this operation is still protected. Schemes that can revoke
+  /// protection mid-operation override it — NBR returns false once the
+  /// thread has been neutralized (re-announcing at the current era as it
+  /// does), after which the caller must drop every pointer it holds and
+  /// restart from a structure root. Lock-free traversals call this once
+  /// per hop; all other schemes return true unconditionally.
+  virtual bool validate(int tid) {
+    (void)tid;
+    return true;
+  }
 
   virtual void retire(int tid, void* p) = 0;
 
@@ -196,5 +227,76 @@ struct ReclaimerBundle {
   std::unique_ptr<FreeExecutor> executor;
   std::unique_ptr<Reclaimer> reclaimer;
 };
+
+/// RAII read-side guard: one Guard brackets one structure operation
+/// (begin_op at construction, end_op at destruction), and every hazardous
+/// load inside the bracket goes through protect(). This is the whole
+/// read-side protocol a lock-free structure needs:
+///
+///   Guard g(reclaimer, tid);
+///   Node* n = g.protect(0, root_);          // slot 0
+///   while (...) {
+///     if (ds::is_marked(n)) goto restart;   // source was being unlinked
+///     if (!g.validate()) goto restart;      // NBR neutralization
+///     n = g.protect(depth & 1, n->next);    // parent stays protected
+///   }
+///
+/// protect() alternating between two slots keeps the previous hop's node
+/// protected while the next one is published — the hand-over-hand pattern
+/// every hazard-class scheme needs; epoch-class schemes ignore the slot.
+/// Guards do not nest on one tid: a thread runs one guarded operation at
+/// a time.
+class Guard {
+ public:
+  Guard(Reclaimer& r, int tid) : r_(r), tid_(tid) { r_.begin_op(tid_); }
+  ~Guard() { r_.end_op(tid_); }
+
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+  /// Protected load of `src`, tag bits preserved (see
+  /// Reclaimer::protect).
+  template <typename T>
+  T* protect(int slot, const std::atomic<T*>& src) {
+    return static_cast<T*>(r_.protect(tid_, slot, &load_fn<T>, &src));
+  }
+
+  /// True while earlier pointers from this guard are still protected;
+  /// false means restart from a root (NBR neutralization).
+  bool validate() { return r_.validate(tid_); }
+
+  /// Retires an unlinked node through the guarded reclaimer.
+  void retire(void* p) { r_.retire(tid_, p); }
+
+  int tid() const { return tid_; }
+  Reclaimer& reclaimer() const { return r_; }
+
+ private:
+  template <typename T>
+  static void* load_fn(const void* src) {
+    return static_cast<const std::atomic<T*>*>(src)->load(
+        std::memory_order_acquire);
+  }
+
+  Reclaimer& r_;
+  int tid_;
+};
+
+/// Allocates a node through the reclaimer and constructs a T in it while
+/// preserving the reclaimer's NodeHeader stamp (T's constructor would
+/// otherwise zero the birth era). T must be standard-layout with a
+/// NodeHeader as its first member.
+template <typename T, typename... Args>
+T* make_node(Reclaimer& r, int tid, Args&&... args) {
+  static_assert(std::is_standard_layout_v<T>,
+                "node types must be standard-layout so the NodeHeader "
+                "stays at offset 0");
+  static_assert(sizeof(T) >= sizeof(NodeHeader));
+  void* p = r.alloc_node(tid, sizeof(T));
+  const NodeHeader stamp = *static_cast<const NodeHeader*>(p);
+  T* t = new (p) T(std::forward<Args>(args)...);
+  *reinterpret_cast<NodeHeader*>(t) = stamp;
+  return t;
+}
 
 }  // namespace emr::smr

@@ -205,10 +205,12 @@ TEST(SmrEra, UnreservedIntervalsReclaimWithoutReaders) {
   }
 }
 
-// NBR's defining move: a neutralized reader that *keeps reading* (calls
-// protect again) restarts its read block at the current era and thereby
-// abandons its claim on earlier retires — which then become freeable —
-// while a reader that never acknowledges the flag keeps blocking them.
+// NBR's defining move: a neutralized reader that polls validate()
+// learns its read block is dead, restarts at the current era and
+// thereby abandons its claim on earlier retires — which then become
+// freeable — while a reader that never polls keeps blocking them.
+// (protect() itself never restarts: it must not invalidate the pointer
+// it is about to return.)
 TEST(SmrNbr, NeutralizedReaderRestartsAndUnblocksReclamation) {
   for (const char* name : {"nbr", "nbrplus"}) {
     SchemeWorld w(name, /*batch=*/8);
@@ -219,7 +221,7 @@ TEST(SmrNbr, NeutralizedReaderRestartsAndUnblocksReclamation) {
     w.r().protect(0, 0, load_ptr, &src);
 
     // Churn: retires + era advances set thread 0's neutralize flag, but
-    // with no further protect calls the old announcement stands.
+    // until the reader polls validate() the old announcement stands.
     w.r().begin_op(1);
     w.r().retire(1, x);
     w.r().end_op(1);
@@ -234,10 +236,13 @@ TEST(SmrNbr, NeutralizedReaderRestartsAndUnblocksReclamation) {
     EXPECT_EQ(w.allocator.freed_count(x), 0u)
         << name << ": unacknowledged neutralization must not unprotect";
 
-    // The reader keeps reading: this protect honours the flag, restarts
+    // The reader polls: validate() reports the neutralization, restarts
     // the read block, and x's retire era falls out of every active
     // announcement on the next churn round.
-    w.r().protect(0, 0, load_ptr, &src);
+    EXPECT_FALSE(w.r().validate(0))
+        << name << ": churn should have neutralized the reader";
+    EXPECT_TRUE(w.r().validate(0))
+        << name << ": a restarted block validates cleanly again";
     churn(200);
     // freed_count, not is_live: the allocator may have recycled x's
     // address for a later churn node by the time we look.

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <stdexcept>
+#include <string>
 
 #include "harness/report.hpp"
 #include "harness/workload.hpp"
@@ -67,6 +69,41 @@ TEST(OpStreamTest, MixFractionsRespected) {
   EXPECT_NEAR(counts[Op::kInsert], kN * 0.25, kN * 0.02);
   EXPECT_NEAR(counts[Op::kErase], kN * 0.25, kN * 0.02);
   EXPECT_NEAR(counts[Op::kLookup], kN * 0.50, kN * 0.02);
+}
+
+// Bad configs must fail at Trial construction with an error naming the
+// valid choices, never silently default.
+TEST(TrialTest, InvalidConfigsFailFastWithValidNames) {
+  auto expect_throw_listing = [](TrialConfig cfg, const char* some_valid) {
+    try {
+      harness::Trial trial(cfg);
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(some_valid), std::string::npos)
+          << "error should name the valid choices, got: " << e.what();
+    }
+  };
+
+  TrialConfig cfg = tiny_config();
+  cfg.insert_frac = 0.7;
+  cfg.erase_frac = 0.7;  // sums past 1
+  EXPECT_THROW(harness::Trial trial(cfg), std::invalid_argument);
+
+  cfg = tiny_config();
+  cfg.erase_frac = -0.1;
+  EXPECT_THROW(harness::Trial trial(cfg), std::invalid_argument);
+
+  cfg = tiny_config();
+  cfg.ds = "splaytree";
+  expect_throw_listing(cfg, "abtree");
+
+  cfg = tiny_config();
+  cfg.reclaimer = "ebr9000";
+  expect_throw_listing(cfg, "debra");
+
+  cfg = tiny_config();
+  cfg.allocator = "hoard";
+  expect_throw_listing(cfg, "je");
 }
 
 TEST(TrialTest, RunsAndAccountsForEveryRetiredNode) {

@@ -1,7 +1,8 @@
-// Test-only allocator wrapper shared by the SMR suites: asserts no
-// pointer is freed twice or freed without having been allocated, and
+// Test-only allocator wrapper shared by the SMR and ds suites: asserts
+// no pointer is freed twice or freed without having been allocated, and
 // exposes the live set so tests can check that a specific node survived
-// (or didn't survive) a reclamation pass.
+// (or didn't survive) a reclamation pass. Bookkeeping is mutex-guarded
+// so multi-threaded guarded-traversal tests can run over it.
 #pragma once
 
 #include <gtest/gtest.h>
@@ -9,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 
 #include "alloc/factory.hpp"
@@ -25,27 +27,43 @@ class TrackingAllocator final : public alloc::Allocator {
 
   void* allocate(int tid, std::size_t size) override {
     void* p = inner_->allocate(tid, size);
-    live_.insert(p);
-    ++allocs_;
+    {
+      const std::lock_guard<std::mutex> guard(mu_);
+      live_.insert(p);
+      ++allocs_;
+    }
     return p;
   }
 
   void deallocate(int tid, void* p) override {
-    ASSERT_EQ(live_.count(p), 1u) << "freed a pointer that is not live "
-                                     "(double free or foreign pointer)";
-    live_.erase(p);
-    ++frees_;
-    ++freed_counts_[p];
+    {
+      const std::lock_guard<std::mutex> guard(mu_);
+      ASSERT_EQ(live_.count(p), 1u) << "freed a pointer that is not live "
+                                       "(double free or foreign pointer)";
+      live_.erase(p);
+      ++frees_;
+      ++freed_counts_[p];
+    }
     inner_->deallocate(tid, p);
   }
 
   alloc::AllocStats stats() const override { return inner_->stats(); }
   const char* name() const override { return "tracking"; }
 
-  std::uint64_t allocs() const { return allocs_; }
-  std::uint64_t frees() const { return frees_; }
-  std::size_t live() const { return live_.size(); }
+  std::uint64_t allocs() const {
+    const std::lock_guard<std::mutex> guard(mu_);
+    return allocs_;
+  }
+  std::uint64_t frees() const {
+    const std::lock_guard<std::mutex> guard(mu_);
+    return frees_;
+  }
+  std::size_t live() const {
+    const std::lock_guard<std::mutex> guard(mu_);
+    return live_.size();
+  }
   bool is_live(const void* p) const {
+    const std::lock_guard<std::mutex> guard(mu_);
     return live_.count(const_cast<void*>(p)) != 0;
   }
 
@@ -53,12 +71,14 @@ class TrackingAllocator final : public alloc::Allocator {
   /// address-reuse ambiguity of is_live(): an address the allocator
   /// recycled still reports its earlier frees.
   std::uint64_t freed_count(const void* p) const {
+    const std::lock_guard<std::mutex> guard(mu_);
     const auto it = freed_counts_.find(const_cast<void*>(p));
     return it == freed_counts_.end() ? 0 : it->second;
   }
 
  private:
   std::unique_ptr<alloc::Allocator> inner_;
+  mutable std::mutex mu_;
   std::set<void*> live_;
   std::map<void*, std::uint64_t> freed_counts_;
   std::uint64_t allocs_ = 0;
