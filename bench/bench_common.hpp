@@ -11,7 +11,15 @@
 //   EMR_EPOCH_FREQ - era-clock advance rate (he/ibr/wfe/nbr)
 //   EMR_ALLOC    - je | tc | mi | system
 //   EMR_REMOTE_PENALTY_NS - modelled cross-socket free penalty
+//   EMR_CHURN_MS - thread-churn interval: a worker deregisters and a
+//                  fresh thread registers every this-many ms (0 = off)
 //   EMR_OUT      - artifact directory for CSV/timeline dumps
+//
+// Binaries that parse argv (currently bench_ablation_churn) also
+// accept `--json <path>` (or EMR_JSON): the result table is mirrored
+// as a JSON array via harness::emit_json, the format the BENCH_*.json
+// perf trajectories ingest. The helpers below are the two lines a
+// bench needs to opt in.
 #pragma once
 
 #include <algorithm>
@@ -59,6 +67,27 @@ inline int max_threads() {
   int m = 1;
   for (int t : sweep) m = std::max(m, t);
   return m;
+}
+
+/// `--json <path>` from argv, falling back to EMR_JSON; empty when
+/// neither is present.
+inline std::string json_path_from_args(int argc, char** argv) {
+  std::string path = env_str("EMR_JSON", "");
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") path = argv[i + 1];
+  }
+  return path;
+}
+
+/// Mirrors `table` to `path` as JSON when a path was given.
+inline void maybe_write_json(const harness::Table& table,
+                             const std::string& path) {
+  if (path.empty()) return;
+  if (table.write_json(path)) {
+    std::printf("JSON: %s\n", path.c_str());
+  } else {
+    std::printf("bench: failed to write JSON to %s\n", path.c_str());
+  }
 }
 
 inline std::string describe(const harness::TrialConfig& cfg) {

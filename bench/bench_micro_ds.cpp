@@ -14,6 +14,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "alloc/factory.hpp"
 #include "core/rng.hpp"
@@ -30,31 +31,44 @@ struct DsWorld {
   smr::SmrConfig cfg;
   smr::ReclaimerBundle bundle;
   std::unique_ptr<ds::ConcurrentSet> set;
+  std::vector<smr::ThreadHandle> handles;
 
   DsWorld(const std::string& ds_name, const std::string& reclaimer,
           std::uint64_t keyrange) {
-    alloc::AllocConfig acfg;
-    acfg.max_threads = 2;
-    allocator = alloc::make_allocator("system", acfg);
-    ctx.allocator = allocator.get();
     cfg.num_threads = 2;
     cfg.batch_size = 64;
     cfg.epoch_freq = 16;
+    alloc::AllocConfig acfg;
+    acfg.max_threads = static_cast<int>(cfg.slot_capacity());
+    allocator = alloc::make_allocator("system", acfg);
+    ctx.allocator = allocator.get();
     bundle = smr::make_reclaimer(reclaimer, ctx, cfg);
     ds::SetConfig dcfg;
     dcfg.keyrange = keyrange;
     dcfg.num_threads = 2;
     set = ds::make_set(ds_name, dcfg, bundle.reclaimer.get());
+    for (int t = 0; t < cfg.num_threads; ++t) {
+      handles.push_back(bundle.reclaimer->register_thread());
+    }
   }
+
+  /// Release before the set dies so the teardown slot is free.
+  void teardown() {
+    handles.clear();
+    set.reset();
+    bundle.reclaimer->flush_all();
+  }
+
+  smr::ThreadHandle& h(int t) { return handles[static_cast<std::size_t>(t)]; }
 };
 
 void BM_GuardedContains(benchmark::State& state, const char* ds_name,
                         const char* reclaimer) {
   DsWorld w(ds_name, reclaimer, 4096);
-  for (std::uint64_t k = 0; k < 4096; k += 2) w.set->insert(0, k);
+  for (std::uint64_t k = 0; k < 4096; k += 2) w.set->insert(w.h(0), k);
   Rng rng(1);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(w.set->contains(0, rng.next_range(4096)));
+    benchmark::DoNotOptimize(w.set->contains(w.h(0), rng.next_range(4096)));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -72,8 +86,8 @@ void BM_UpdateChurn(benchmark::State& state, const char* ds_name,
   Rng rng(2);
   for (auto _ : state) {
     const std::uint64_t key = rng.next_range(4096);
-    w.set->insert(0, key);
-    w.set->erase(0, key);
+    w.set->insert(w.h(0), key);
+    w.set->erase(w.h(0), key);
   }
   state.SetItemsProcessed(state.iterations() * 2);
 }
@@ -97,22 +111,21 @@ bool smoke_one(const std::string& ds_name, const std::string& reclaimer) {
     std::set<std::uint64_t> model;
     Rng rng(11);
     for (int i = 0; i < 2000 && model_ok; ++i) {
-      const int tid = i & 1;
+      smr::ThreadHandle& h = w.h(i & 1);
       const std::uint64_t key = rng.next_range(128);
       switch (rng.next_range(3)) {
         case 0:
-          model_ok = w.set->insert(tid, key) == model.insert(key).second;
+          model_ok = w.set->insert(h, key) == model.insert(key).second;
           break;
         case 1:
-          model_ok = w.set->erase(tid, key) == (model.erase(key) == 1);
+          model_ok = w.set->erase(h, key) == (model.erase(key) == 1);
           break;
         default:
-          model_ok = w.set->contains(tid, key) == (model.count(key) == 1);
+          model_ok = w.set->contains(h, key) == (model.count(key) == 1);
           break;
       }
     }
-    w.set.reset();
-    w.bundle.reclaimer->flush_all();
+    w.teardown();
     const alloc::AllocStats st = w.allocator->stats();
     n_alloc = st.totals.n_alloc;
     n_free = st.totals.n_free;

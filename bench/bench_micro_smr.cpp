@@ -27,16 +27,23 @@ struct MicroWorld {
   smr::SmrContext ctx;
   smr::SmrConfig cfg;
   smr::ReclaimerBundle bundle;
+  std::vector<smr::ThreadHandle> handles;
 
   explicit MicroWorld(const std::string& name) {
-    alloc::AllocConfig acfg;
-    acfg.max_threads = 2;
-    allocator = alloc::make_allocator("je", acfg);
-    ctx.allocator = allocator.get();
     cfg.num_threads = 2;
     cfg.batch_size = 256;
+    alloc::AllocConfig acfg;
+    acfg.max_threads = static_cast<int>(cfg.slot_capacity());
+    allocator = alloc::make_allocator("je", acfg);
+    ctx.allocator = allocator.get();
     bundle = smr::make_reclaimer(name, ctx, cfg);
+    // The single-threaded bench loops multiplex both lanes' handles.
+    for (int t = 0; t < cfg.num_threads; ++t) {
+      handles.push_back(bundle.reclaimer->register_thread());
+    }
   }
+
+  smr::ThreadHandle& h(int t) { return handles[static_cast<std::size_t>(t)]; }
 };
 
 void* load_ptr(const void* s) {
@@ -48,8 +55,8 @@ void BM_BeginEndOp(benchmark::State& state, const char* name) {
   MicroWorld w(name);
   smr::Reclaimer& r = *w.bundle.reclaimer;
   for (auto _ : state) {
-    r.begin_op(0);
-    r.end_op(0);
+    r.begin_op(w.h(0));
+    r.end_op(w.h(0));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -68,15 +75,15 @@ BENCHMARK_CAPTURE(BM_BeginEndOp, nbrplus, "nbrplus");
 void BM_ProtectLoad(benchmark::State& state, const char* name) {
   MicroWorld w(name);
   smr::Reclaimer& r = *w.bundle.reclaimer;
-  void* node = r.alloc_node(0, 64);
+  void* node = r.alloc_node(w.h(0), 64);
   std::atomic<void*> src{node};
-  r.begin_op(0);
+  r.begin_op(w.h(0));
   for (auto _ : state) {
-    void* p = r.protect(0, 0, load_ptr, &src);
+    void* p = r.protect(w.h(0), 0, load_ptr, &src);
     benchmark::DoNotOptimize(p);
   }
-  r.end_op(0);
-  r.dealloc_unpublished(0, node);
+  r.end_op(w.h(0));
+  r.dealloc_unpublished(w.h(0), node);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK_CAPTURE(BM_ProtectLoad, debra, "debra");
@@ -90,11 +97,11 @@ void BM_RetirePipeline(benchmark::State& state, const char* name) {
   MicroWorld w(name);
   smr::Reclaimer& r = *w.bundle.reclaimer;
   for (auto _ : state) {
-    r.begin_op(0);
-    r.retire(0, r.alloc_node(0, 240));
-    r.end_op(0);
-    r.begin_op(1);  // second thread keeps epochs moving
-    r.end_op(1);
+    r.begin_op(w.h(0));
+    r.retire(w.h(0), r.alloc_node(w.h(0), 240));
+    r.end_op(w.h(0));
+    r.begin_op(w.h(1));  // second lane keeps epochs moving
+    r.end_op(w.h(1));
   }
   r.flush_all();
   state.SetItemsProcessed(state.iterations());
@@ -115,21 +122,27 @@ bool is_pointer_scheme(const std::string& base) {
          base == "nbr" || base == "nbrplus";
 }
 
-/// Drives one scheme through 512 alloc/protect/retire ops on two lanes
-/// and checks the accounting closes. Returns false on any violation.
+/// Drives one scheme through 512 alloc/protect/retire ops on two
+/// registered handles — re-registering the second lane's handle midway
+/// so every scheme's departure hand-off runs — and checks the
+/// accounting closes. Returns false on any violation.
 bool smoke_one(const std::string& name) {
   MicroWorld w(name);
   smr::Reclaimer& r = *w.bundle.reclaimer;
   constexpr std::uint64_t kOps = 512;
   for (std::uint64_t i = 0; i < kOps; ++i) {
-    r.begin_op(0);
-    void* p = r.alloc_node(0, 64);
+    r.begin_op(w.h(0));
+    void* p = r.alloc_node(w.h(0), 64);
     std::atomic<void*> src{p};
-    void* q = r.protect(0, static_cast<int>(i % 8), load_ptr, &src);
-    r.retire(0, q);
-    r.end_op(0);
-    r.begin_op(1);
-    r.end_op(1);
+    void* q = r.protect(w.h(0), static_cast<int>(i % 8), load_ptr, &src);
+    r.retire(w.h(0), q);
+    r.end_op(w.h(0));
+    r.begin_op(w.h(1));
+    r.end_op(w.h(1));
+    if (i == kOps / 2) {
+      // Churn lane 1: release mid-run and register a replacement.
+      w.handles[1] = r.register_thread();
+    }
   }
   r.flush_all();
   const smr::SmrStats st = r.stats();

@@ -20,6 +20,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 # against std::set and accounts every node at teardown.
 "$BUILD_DIR/bench_micro_ds" --smoke
 
+# Thread-churn smoke: every Experiment-2 reclaimer (batched and _af)
+# survives workers deregistering/registering mid-trial — progress under
+# churn, pending == 0 and an empty executor backlog after teardown.
+"$BUILD_DIR/bench_ablation_churn" --smoke
+
 # End-to-end: the Figure 1 sweep must produce a non-empty table + CSV.
 export EMR_MS="${EMR_MS:-30}" EMR_THREADS="${EMR_THREADS:-1 2}" \
        EMR_TRIALS=1 EMR_KEYRANGE="${EMR_KEYRANGE:-4096}" \
@@ -36,6 +41,9 @@ cmake -B "$TSAN_DIR" -S . -DEMR_SANITIZE=thread -DEMR_BUILD_BENCHES=OFF
 cmake --build "$TSAN_DIR" -j"$JOBS"
 if [ -x "$TSAN_DIR/test_ds" ]; then
   "$TSAN_DIR/test_ds" --gtest_filter='*Concurrent*'
+  # ThreadHandle churn stress: register/deregister racing guarded
+  # traversals over every reclaimer family.
+  "$TSAN_DIR/test_handle_lifecycle" --gtest_filter='*ChurnStress*'
 else
   # Without GTest the unit suites (and this race check) don't build;
   # mirror the main build's degrade-with-a-warning behaviour.

@@ -57,14 +57,17 @@ class AbTree final : public ConcurrentSet {
   }
 
   ~AbTree() override {
+    // Single-threaded teardown; the cursor degrades gracefully when
+    // the slot table is exhausted (destructors must not throw).
+    smr::TeardownCursor td(*r_);
     for (std::size_t i = 0; i < nslots_; ++i) {
       LeafNode* leaf = slots_[i].load(std::memory_order_relaxed);
-      if (leaf != nullptr) r_->dealloc_unpublished(0, leaf);
+      if (leaf != nullptr) td.dealloc(leaf);
     }
   }
 
-  bool insert(int tid, std::uint64_t key) override {
-    smr::Guard g(*r_, tid);
+  bool insert(smr::ThreadHandle& h, std::uint64_t key) override {
+    smr::Guard g(h);
     std::atomic<LeafNode*>& slot = route(key);
     for (;;) {
       if (!g.validate()) continue;  // slot is static: just re-protect
@@ -73,7 +76,7 @@ class AbTree final : public ConcurrentSet {
       // Only out-of-contract keys (>= keyrange) can fill a leaf past the
       // 28 distinct in-segment values; refuse rather than overflow.
       if (old != nullptr && old->count >= kLeafCap) return false;
-      LeafNode* fresh = smr::make_node<LeafNode>(*r_, tid);
+      LeafNode* fresh = smr::make_node<LeafNode>(h);
       if (old != nullptr) {
         std::copy(old->keys, old->keys + old->count, fresh->keys);
         fresh->count = old->count;
@@ -89,12 +92,12 @@ class AbTree final : public ConcurrentSet {
         if (old != nullptr) g.retire(old);
         return true;
       }
-      r_->dealloc_unpublished(tid, fresh);  // lost the CAS; rebuild
+      r_->dealloc_unpublished(h, fresh);  // lost the CAS; rebuild
     }
   }
 
-  bool erase(int tid, std::uint64_t key) override {
-    smr::Guard g(*r_, tid);
+  bool erase(smr::ThreadHandle& h, std::uint64_t key) override {
+    smr::Guard g(h);
     std::atomic<LeafNode*>& slot = route(key);
     for (;;) {
       if (!g.validate()) continue;
@@ -102,7 +105,7 @@ class AbTree final : public ConcurrentSet {
       if (old == nullptr || !leaf_contains(*old, key)) return false;
       LeafNode* fresh = nullptr;
       if (old->count > 1) {
-        fresh = smr::make_node<LeafNode>(*r_, tid);
+        fresh = smr::make_node<LeafNode>(h);
         const std::uint64_t* okeys = old->keys;
         const std::uint64_t* oend = okeys + old->count;
         const std::uint64_t* oat = std::lower_bound(okeys, oend, key);
@@ -116,12 +119,12 @@ class AbTree final : public ConcurrentSet {
         g.retire(old);
         return true;
       }
-      if (fresh != nullptr) r_->dealloc_unpublished(tid, fresh);
+      if (fresh != nullptr) r_->dealloc_unpublished(h, fresh);
     }
   }
 
-  bool contains(int tid, std::uint64_t key) override {
-    smr::Guard g(*r_, tid);
+  bool contains(smr::ThreadHandle& h, std::uint64_t key) override {
+    smr::Guard g(h);
     std::atomic<LeafNode*>& slot = route(key);
     for (;;) {
       if (!g.validate()) continue;

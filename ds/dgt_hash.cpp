@@ -48,30 +48,32 @@ class DgtHash final : public ConcurrentSet {
   }
 
   ~DgtHash() override {
-    // Single-threaded teardown: marked-but-unlinked nodes are still
-    // chained (only unlinked nodes were retired), so one walk per bucket
-    // reaches everything the structure still owns.
+    // Single-threaded teardown (the cursor degrades gracefully when
+    // the slot table is exhausted): marked-but-unlinked nodes are
+    // still chained (only unlinked nodes were retired), so one walk
+    // per bucket reaches everything the structure still owns.
+    smr::TeardownCursor td(*r_);
     for (std::size_t i = 0; i < nbuckets_; ++i) {
       Node* n = buckets_[i].load(std::memory_order_relaxed);
       while (n != nullptr) {
         Node* next = clear_mark(n->next.load(std::memory_order_relaxed));
-        r_->dealloc_unpublished(0, n);
+        td.dealloc(n);
         n = next;
       }
     }
   }
 
-  bool insert(int tid, std::uint64_t key) override {
-    smr::Guard g(*r_, tid);
+  bool insert(smr::ThreadHandle& h, std::uint64_t key) override {
+    smr::Guard g(h);
     std::atomic<Node*>& head = bucket(key);
     Node* n = nullptr;
     for (;;) {
       const Pos pos = find(g, head, key);
       if (pos.curr != nullptr && pos.curr->key == key) {
-        if (n != nullptr) r_->dealloc_unpublished(tid, n);
+        if (n != nullptr) r_->dealloc_unpublished(h, n);
         return false;
       }
-      if (n == nullptr) n = smr::make_node<Node>(*r_, tid, key);
+      if (n == nullptr) n = smr::make_node<Node>(h, key);
       n->next.store(pos.curr, std::memory_order_relaxed);
       Node* expected = pos.curr;
       if (pos.pf->compare_exchange_strong(expected, n,
@@ -81,8 +83,8 @@ class DgtHash final : public ConcurrentSet {
     }
   }
 
-  bool erase(int tid, std::uint64_t key) override {
-    smr::Guard g(*r_, tid);
+  bool erase(smr::ThreadHandle& h, std::uint64_t key) override {
+    smr::Guard g(h);
     std::atomic<Node*>& head = bucket(key);
     for (;;) {
       const Pos pos = find(g, head, key);
@@ -108,8 +110,8 @@ class DgtHash final : public ConcurrentSet {
     }
   }
 
-  bool contains(int tid, std::uint64_t key) override {
-    smr::Guard g(*r_, tid);
+  bool contains(smr::ThreadHandle& h, std::uint64_t key) override {
+    smr::Guard g(h);
     std::atomic<Node*>& head = bucket(key);
   retry:
     (void)g.validate();

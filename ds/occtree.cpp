@@ -40,15 +40,18 @@ class OccTree final : public ConcurrentSet {
   }
 
   ~OccTree() override {
-    free_subtree(root_.load(std::memory_order_relaxed));
+    // Single-threaded teardown; the cursor degrades gracefully when
+    // the slot table is exhausted (destructors must not throw).
+    smr::TeardownCursor td(*r_);
+    free_subtree(td, root_.load(std::memory_order_relaxed));
   }
 
-  bool insert(int tid, std::uint64_t key) override {
-    smr::Guard g(*r_, tid);
+  bool insert(smr::ThreadHandle& h, std::uint64_t key) override {
+    smr::Guard g(h);
     lock_.lock();
     Node* curr = root_.load(std::memory_order_relaxed);
     if (curr == nullptr) {
-      root_.store(smr::make_node<Node>(*r_, tid, key, nullptr, nullptr),
+      root_.store(smr::make_node<Node>(h, key, nullptr, nullptr),
                   std::memory_order_release);
       lock_.unlock();
       return true;
@@ -64,17 +67,17 @@ class OccTree final : public ConcurrentSet {
     }
     // Replace the leaf with a router over {old leaf, new leaf}; the old
     // leaf stays in the tree, so nothing is retired on insert.
-    Node* fresh = smr::make_node<Node>(*r_, tid, key, nullptr, nullptr);
+    Node* fresh = smr::make_node<Node>(h, key, nullptr, nullptr);
     Node* small = key < curr->key ? fresh : curr;
     Node* big = key < curr->key ? curr : fresh;
-    Node* router = smr::make_node<Node>(*r_, tid, big->key, small, big);
+    Node* router = smr::make_node<Node>(h, big->key, small, big);
     pf->store(router, std::memory_order_release);
     lock_.unlock();
     return true;
   }
 
-  bool erase(int tid, std::uint64_t key) override {
-    smr::Guard g(*r_, tid);
+  bool erase(smr::ThreadHandle& h, std::uint64_t key) override {
+    smr::Guard g(h);
     lock_.lock();
     Node* curr = root_.load(std::memory_order_relaxed);
     if (curr == nullptr) {
@@ -118,8 +121,8 @@ class OccTree final : public ConcurrentSet {
     return true;
   }
 
-  bool contains(int tid, std::uint64_t key) override {
-    smr::Guard g(*r_, tid);
+  bool contains(smr::ThreadHandle& h, std::uint64_t key) override {
+    smr::Guard g(h);
   retry:
     (void)g.validate();
     Node* curr = g.protect(0, root_);  // the root link is never marked
@@ -142,11 +145,11 @@ class OccTree final : public ConcurrentSet {
   std::size_t node_size() const override { return sizeof(Node); }
 
  private:
-  void free_subtree(Node* n) {
+  void free_subtree(smr::TeardownCursor& td, Node* n) {
     if (n == nullptr) return;
-    free_subtree(clear_mark(n->left.load(std::memory_order_relaxed)));
-    free_subtree(clear_mark(n->right.load(std::memory_order_relaxed)));
-    r_->dealloc_unpublished(0, n);
+    free_subtree(td, clear_mark(n->left.load(std::memory_order_relaxed)));
+    free_subtree(td, clear_mark(n->right.load(std::memory_order_relaxed)));
+    td.dealloc(n);
   }
 
   smr::Reclaimer* r_;

@@ -1,12 +1,13 @@
 // The data-structure layer: every trial drives one ConcurrentSet
-// implementation picked by TrialConfig::ds. Each operation opens its own
-// smr::Guard (RAII begin_op/end_op), allocates nodes through the guarded
-// reclaimer (so the alloc/ models see real node lifetimes and pooling
-// can intercept them) and retires unlinked nodes through it — lookups
-// hold no shard or global lock on any structure except the legacy
-// `shardedset`, so the reclaimer's read-side protection is load-bearing,
-// not cost-modelled. Structures, node layouts and per-scheme guard
-// protocols are documented in docs/DATA_STRUCTURES.md.
+// implementation picked by TrialConfig::ds. Each operation runs on
+// behalf of a registered smr::ThreadHandle: it opens its own smr::Guard
+// (RAII begin_op/end_op on the handle), allocates nodes through the
+// handle's reclaimer (so the alloc/ models see real node lifetimes and
+// pooling can intercept them) and retires unlinked nodes through it —
+// lookups hold no shard or global lock on any structure except the
+// legacy `shardedset`, so the reclaimer's read-side protection is
+// load-bearing, not cost-modelled. Structures, node layouts and
+// per-scheme guard protocols are documented in docs/DATA_STRUCTURES.md.
 //
 //   abtree     - internal (a,b)-tree flavour: static fanout-16 routing
 //                layer over fat 240 B copy-on-write leaves, lock-free
@@ -38,22 +39,27 @@ struct SetConfig {
 /// A set of uint64 keys under concurrent insert/erase/contains.
 ///
 /// Contract:
-///  - Each call runs one guarded operation on behalf of thread `tid`
-///    (the reclaimer's thread model applies: one call at a time per tid,
-///    different tids freely concurrent).
-///  - Nodes are allocated via the reclaimer and begin with
+///  - Each call runs one guarded operation on behalf of the registered
+///    ThreadHandle `h`, which must belong to the reclaimer the structure
+///    was built over (the handle contract applies: one call at a time
+///    per handle, different handles freely concurrent; handles may come
+///    and go mid-lifetime — thread churn is first-class).
+///  - Nodes are allocated via the handle's reclaimer and begin with
 ///    smr::NodeHeader; unlinked nodes leave through Guard::retire and
 ///    are never touched again by the structure.
-///  - Destruction is single-threaded and returns every node still
-///    reachable to the allocator via dealloc_unpublished; combined with
+///  - Destruction is single-threaded (no thread may be operating
+///    through the reclaimer): a smr::TeardownCursor returns every node
+///    still reachable to the allocator — on its own transient handle
+///    when a slot is free, or the handle-less teardown lane when the
+///    table is exhausted, so destructors never throw. Combined with
 ///    Reclaimer::flush_all() afterwards, no node leaks.
 class ConcurrentSet {
  public:
   virtual ~ConcurrentSet() = default;
 
-  virtual bool insert(int tid, std::uint64_t key) = 0;
-  virtual bool erase(int tid, std::uint64_t key) = 0;
-  virtual bool contains(int tid, std::uint64_t key) = 0;
+  virtual bool insert(smr::ThreadHandle& h, std::uint64_t key) = 0;
+  virtual bool erase(smr::ThreadHandle& h, std::uint64_t key) = 0;
+  virtual bool contains(smr::ThreadHandle& h, std::uint64_t key) = 0;
 
   virtual const char* name() const = 0;
   /// sizeof the structure's churned node type — what alloc_node is asked

@@ -41,18 +41,21 @@ class ShardedSet final : public ConcurrentSet {
   }
 
   ~ShardedSet() override {
+    // Single-threaded teardown; the cursor degrades gracefully when
+    // the slot table is exhausted (destructors must not throw).
+    smr::TeardownCursor td(*r_);
     for (std::size_t i = 0; i < nbuckets_; ++i) {
       Node* n = buckets_[i].load(std::memory_order_relaxed);
       while (n != nullptr) {
         Node* next = n->next.load(std::memory_order_relaxed);
-        r_->dealloc_unpublished(0, n);
+        td.dealloc(n);
         n = next;
       }
     }
   }
 
-  bool insert(int tid, std::uint64_t key) override {
-    smr::Guard g(*r_, tid);
+  bool insert(smr::ThreadHandle& h, std::uint64_t key) override {
+    smr::Guard g(h);
     const std::size_t b = bucket_of(key);
     Spinlock& lock = locks_[b & (kShards - 1)];
     lock.lock();
@@ -64,15 +67,15 @@ class ShardedSet final : public ConcurrentSet {
         return false;
       }
     }
-    Node* node = smr::make_node<Node>(*r_, tid, key);
+    Node* node = smr::make_node<Node>(h, key);
     node->next.store(head, std::memory_order_relaxed);
     buckets_[b].store(node, std::memory_order_release);
     lock.unlock();
     return true;
   }
 
-  bool erase(int tid, std::uint64_t key) override {
-    smr::Guard g(*r_, tid);
+  bool erase(smr::ThreadHandle& h, std::uint64_t key) override {
+    smr::Guard g(h);
     const std::size_t b = bucket_of(key);
     Spinlock& lock = locks_[b & (kShards - 1)];
     lock.lock();
@@ -97,8 +100,8 @@ class ShardedSet final : public ConcurrentSet {
     return true;
   }
 
-  bool contains(int tid, std::uint64_t key) override {
-    smr::Guard g(*r_, tid);
+  bool contains(smr::ThreadHandle& h, std::uint64_t key) override {
+    smr::Guard g(h);
     const std::size_t b = bucket_of(key);
     Spinlock& lock = locks_[b & (kShards - 1)];
     lock.lock();

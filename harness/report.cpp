@@ -1,9 +1,13 @@
 #include "harness/report.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <ostream>
 
 #include "core/env.hpp"
 
@@ -99,6 +103,95 @@ bool Table::write_csv(const std::string& path) const {
   for (const auto& row : rows_) write_row(row);
   std::fclose(f);
   return true;
+}
+
+bool Table::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  emit_json(out, *this);
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+/// True iff the whole cell is one number under the JSON grammar
+/// (-?int[.frac][exp], no leading zeros) — such cells are emitted
+/// unquoted. Deliberately stricter than strtod, whose hex/"+5"/".5"
+/// forms would be invalid JSON if copied through verbatim.
+bool is_json_number(const std::string& cell) {
+  const char* p = cell.c_str();
+  if (*p == '-') ++p;
+  if (!std::isdigit(static_cast<unsigned char>(*p))) return false;
+  const bool leading_zero = *p == '0';
+  ++p;
+  if (leading_zero && std::isdigit(static_cast<unsigned char>(*p))) {
+    return false;
+  }
+  while (std::isdigit(static_cast<unsigned char>(*p))) ++p;
+  if (*p == '.') {
+    ++p;
+    if (!std::isdigit(static_cast<unsigned char>(*p))) return false;
+    while (std::isdigit(static_cast<unsigned char>(*p))) ++p;
+  }
+  if (*p == 'e' || *p == 'E') {
+    ++p;
+    if (*p == '+' || *p == '-') ++p;
+    if (!std::isdigit(static_cast<unsigned char>(*p))) return false;
+    while (std::isdigit(static_cast<unsigned char>(*p))) ++p;
+  }
+  return *p == '\0';
+}
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void emit_json(std::ostream& os, const Table& table) {
+  os << "[\n";
+  for (std::size_t i = 0; i < table.rows(); ++i) {
+    const std::vector<std::string>& row = table.row(i);
+    os << "  {";
+    for (std::size_t c = 0; c < table.headers().size(); ++c) {
+      if (c > 0) os << ", ";
+      write_json_string(os, table.headers()[c]);
+      os << ": ";
+      const std::string& cell = row[c];  // add_row pads to headers_.size()
+      if (is_json_number(cell)) {
+        os << cell;
+      } else {
+        write_json_string(os, cell);
+      }
+    }
+    os << (i + 1 == table.rows() ? "}\n" : "},\n");
+  }
+  os << "]\n";
 }
 
 }  // namespace emr::harness

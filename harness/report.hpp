@@ -1,7 +1,8 @@
-// Result presentation: aligned console tables, CSV artifacts, banners,
-// and the EMR_OUT artifact directory.
+// Result presentation: aligned console tables, CSV and JSON artifacts,
+// banners, and the EMR_OUT artifact directory.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,10 @@ class Table {
 
   void add_row(std::vector<std::string> row);
   std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::string>& row(std::size_t i) const {
+    return rows_[i];
+  }
 
   /// Prints headers + rows with column alignment.
   void print() const;
@@ -34,9 +39,19 @@ class Table {
   /// Writes headers + rows as CSV. Returns success.
   bool write_csv(const std::string& path) const;
 
+  /// Writes the table through emit_json(). Returns success.
+  bool write_json(const std::string& path) const;
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Streams the table as a JSON array with one object per row, keyed by
+/// the table's headers: [{"threads": 4, "reclaimer": "debra_af"}, ...].
+/// Cells that parse fully as finite numbers are emitted unquoted so the
+/// BENCH_*.json perf trajectories stay typed; everything else is an
+/// escaped JSON string.
+void emit_json(std::ostream& os, const Table& table);
 
 }  // namespace emr::harness

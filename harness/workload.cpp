@@ -66,6 +66,12 @@ void apply_env_overrides(TrialConfig& cfg) {
   if (env_has("EMR_DEFERRED_FLUSH")) {
     cfg.alloc.deferred_flush = env_i64("EMR_DEFERRED_FLUSH", 0) != 0;
   }
+  if (env_has("EMR_CHURN_MS")) {
+    // Deliberately unclamped: validate_config owns the range check so a
+    // bad value fails loudly instead of being silently repaired.
+    cfg.churn_interval_ms =
+        static_cast<int>(env_i64("EMR_CHURN_MS", cfg.churn_interval_ms));
+  }
   if (env_has("EMR_INSERT_FRAC")) {
     cfg.insert_frac = env_f64("EMR_INSERT_FRAC", cfg.insert_frac);
   }
@@ -118,6 +124,18 @@ void validate_config(const TrialConfig& cfg) {
         " erase_frac=" + std::to_string(cfg.erase_frac) +
         " (each must be in [0,1] and sum to at most 1)");
   }
+  if (cfg.churn_interval_ms < 0) {
+    throw std::invalid_argument(
+        "invalid churn_interval_ms: " + std::to_string(cfg.churn_interval_ms) +
+        " (valid range: >= 0, where 0 disables churn)");
+  }
+  if (cfg.churn_interval_ms > 0 && cfg.nthreads < 2) {
+    throw std::invalid_argument(
+        "invalid churn config: churn_interval_ms=" +
+        std::to_string(cfg.churn_interval_ms) + " needs nthreads >= 2 (got " +
+        std::to_string(cfg.nthreads) + "): churn joins one worker while "
+        "the others keep running, which a lone worker cannot do");
+  }
   // The ds name is not re-checked here: ds::make_set (run from Trial's
   // constructor right after this) already fails fast listing set_names().
   if (!known_name(smr::all_factory_names(), cfg.reclaimer)) {
@@ -160,21 +178,23 @@ Op OpStream::next() {
 
 namespace {
 
-/// Deterministic half-full prefill through the normal op path on tid 0:
-/// every even key, in an order shuffled from the trial seed so the
-/// unbalanced occtree is not built from a sorted stream (which would
-/// degenerate it into a list).
-void prefill(ds::ConcurrentSet& set, const TrialConfig& cfg) {
+/// Deterministic half-full prefill through the normal op path on a
+/// transient registration: every even key, in an order shuffled from the
+/// trial seed so the unbalanced occtree is not built from a sorted
+/// stream (which would degenerate it into a list).
+void prefill(ds::ConcurrentSet& set, smr::Reclaimer& r,
+             const TrialConfig& cfg) {
   std::vector<std::uint64_t> keys;
   keys.reserve(static_cast<std::size_t>(cfg.keyrange / 2 + 1));
   for (std::uint64_t k = 0; k < cfg.keyrange; k += 2) keys.push_back(k);
-  // Distinct xor constant: seed ^ golden-ratio is already tid 0's
+  // Distinct xor constant: seed ^ golden-ratio is already worker 0's
   // OpStream seed, and the prefill order must not correlate with it.
   Rng rng(cfg.seed ^ 0xC3A5C85C97CB3127ULL);
   for (std::size_t i = keys.size(); i > 1; --i) {
     std::swap(keys[i - 1], keys[rng.next_range(i)]);
   }
-  for (std::uint64_t k : keys) set.insert(0, k);
+  smr::ThreadHandle h = r.register_thread();
+  for (std::uint64_t k : keys) set.insert(h, k);
 }
 
 }  // namespace
@@ -182,12 +202,15 @@ void prefill(ds::ConcurrentSet& set, const TrialConfig& cfg) {
 Trial::Trial(const TrialConfig& cfg) : cfg_(cfg) {
   validate_config(cfg_);
 
-  alloc::AllocConfig acfg = cfg_.alloc;
-  acfg.max_threads = std::max(cfg_.nthreads, 1);
-  allocator_ = alloc::make_allocator(cfg_.allocator, acfg);
-
   smr::SmrConfig scfg = cfg_.smr;
   scfg.num_threads = std::max(cfg_.nthreads, 1);
+
+  // Allocator lanes are keyed by registration slot, so the lane table
+  // covers the whole slot capacity (workers + churn/teardown headroom).
+  alloc::AllocConfig acfg = cfg_.alloc;
+  acfg.max_threads = static_cast<int>(scfg.slot_capacity());
+  allocator_ = alloc::make_allocator(cfg_.allocator, acfg);
+
   smr::SmrContext ctx;
   ctx.allocator = allocator_.get();
   ctx.timeline = &timeline_;
@@ -206,53 +229,112 @@ TrialResult Trial::run() {
   if (ran_) throw std::logic_error("Trial::run called twice");
   ran_ = true;
 
-  // Instruments stay disarmed through the prefill.
-  timeline_.reset(cfg_.nthreads, 0, cfg_.timeline_min_duration_ns, false);
-  garbage_.reset(false);
-  prefill(*set_, cfg_);
-
   const int nthreads = std::max(cfg_.nthreads, 1);
+  const int lanes = static_cast<int>(bundle_.reclaimer->slot_capacity());
+
+  // Instruments stay disarmed through the prefill. Timeline lanes cover
+  // the whole registration-slot table: under churn an event can land on
+  // any slot, not just the first nthreads.
+  timeline_.reset(lanes, 0, cfg_.timeline_min_duration_ns, false);
+  garbage_.reset(false);
+  prefill(*set_, *bundle_.reclaimer, cfg_);
+
   std::atomic<bool> go{false};
   std::atomic<bool> stop{false};
-  std::vector<std::uint64_t> counts(static_cast<std::size_t>(nthreads), 0);
+  // Per-worker-lane state: churn replaces the thread behind a lane, so
+  // the op count accumulates atomically and the retire flag singles out
+  // one incarnation without stopping the trial.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts(
+      new std::atomic<std::uint64_t>[static_cast<std::size_t>(nthreads)]);
+  std::unique_ptr<std::atomic<bool>[]> retire_worker(
+      new std::atomic<bool>[static_cast<std::size_t>(nthreads)]);
+  for (int i = 0; i < nthreads; ++i) {
+    counts[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
+    retire_worker[static_cast<std::size_t>(i)].store(
+        false, std::memory_order_relaxed);
+  }
+
+  // One worker incarnation: registers its own ThreadHandle (released on
+  // exit, so a churned-out thread's backlog is adopted or drained, never
+  // leaked), then drives its deterministic op stream until the trial
+  // stops or the churn controller retires this incarnation.
+  // `incarnation` seeds replacements onto fresh streams.
+  auto worker_fn = [&](int widx, std::uint64_t incarnation) {
+    smr::ThreadHandle handle = bundle_.reclaimer->register_thread();
+    OpStream ops(cfg_.seed,
+                 static_cast<int>(incarnation) * nthreads + widx,
+                 cfg_.insert_frac, cfg_.erase_frac, cfg_.keyrange);
+    ds::ConcurrentSet& set = *set_;
+    std::atomic<bool>& retire = retire_worker[static_cast<std::size_t>(widx)];
+    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+    std::uint64_t done = 0;
+    while (!stop.load(std::memory_order_relaxed) &&
+           !retire.load(std::memory_order_relaxed)) {
+      const Op op = ops.next();
+      // Each ds operation opens its own smr::Guard (begin_op/end_op).
+      switch (op.kind) {
+        case Op::kInsert:
+          set.insert(handle, op.key);
+          break;
+        case Op::kErase:
+          set.erase(handle, op.key);
+          break;
+        case Op::kLookup:
+          set.contains(handle, op.key);
+          break;
+      }
+      ++done;
+    }
+    counts[static_cast<std::size_t>(widx)].fetch_add(
+        done, std::memory_order_relaxed);
+  };
 
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(nthreads));
-  for (int tid = 0; tid < nthreads; ++tid) {
-    workers.emplace_back([&, tid] {
-      OpStream ops(cfg_, tid);
-      ds::ConcurrentSet& set = *set_;
-      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
-      std::uint64_t done = 0;
-      while (!stop.load(std::memory_order_relaxed)) {
-        const Op op = ops.next();
-        // Each ds operation opens its own smr::Guard (begin_op/end_op).
-        switch (op.kind) {
-          case Op::kInsert:
-            set.insert(tid, op.key);
-            break;
-          case Op::kErase:
-            set.erase(tid, op.key);
-            break;
-          case Op::kLookup:
-            set.contains(tid, op.key);
-            break;
-        }
-        ++done;
-      }
-      counts[static_cast<std::size_t>(tid)] = done;
-    });
+  for (int widx = 0; widx < nthreads; ++widx) {
+    workers.emplace_back(worker_fn, widx, std::uint64_t{0});
   }
 
   const alloc::AllocStats alloc_before = allocator_->stats();
   const smr::SmrStats smr_before = bundle_.reclaimer->stats();
   const std::uint64_t t0 = now_ns();
-  timeline_.reset(nthreads, t0, cfg_.timeline_min_duration_ns,
+  timeline_.reset(lanes, t0, cfg_.timeline_min_duration_ns,
                   cfg_.enable_timeline);
   garbage_.reset(cfg_.enable_garbage);
   go.store(true, std::memory_order_release);
 
-  std::this_thread::sleep_for(std::chrono::milliseconds(cfg_.measure_ms));
+  std::uint64_t churned = 0;
+  if (cfg_.churn_interval_ms <= 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(cfg_.measure_ms));
+  } else {
+    // Churn controller: round-robin over the workers, joining one and
+    // spawning a registered replacement every interval. The join/spawn
+    // gap is measured work — that is the churn cost the paper's fixed
+    // populations cannot show.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(cfg_.measure_ms);
+    int victim = 0;
+    std::uint64_t incarnation = 1;
+    for (;;) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) break;
+      const auto nap =
+          std::min<std::chrono::steady_clock::duration>(
+              std::chrono::milliseconds(cfg_.churn_interval_ms),
+              deadline - now);
+      std::this_thread::sleep_for(nap);
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      std::atomic<bool>& retire =
+          retire_worker[static_cast<std::size_t>(victim)];
+      retire.store(true, std::memory_order_relaxed);
+      workers[static_cast<std::size_t>(victim)].join();
+      retire.store(false, std::memory_order_relaxed);
+      workers[static_cast<std::size_t>(victim)] =
+          std::thread(worker_fn, victim, incarnation++);
+      ++churned;
+      victim = (victim + 1) % nthreads;
+    }
+  }
   stop.store(true, std::memory_order_relaxed);
   const std::uint64_t t1 = now_ns();
   for (std::thread& w : workers) w.join();
@@ -267,7 +349,11 @@ TrialResult Trial::run() {
   allocator_->flush_thread_caches();
 
   TrialResult r;
-  for (std::uint64_t c : counts) r.ops += c;
+  for (int i = 0; i < nthreads; ++i) {
+    r.ops += counts[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+  r.threads_churned = churned;
   r.wall_ns = std::max<std::uint64_t>(t1 - t0, 1);
   r.mops = static_cast<double>(r.ops) * 1e3 / static_cast<double>(r.wall_ns);
   r.peak_bytes_mapped = alloc_after.peak_bytes_mapped;

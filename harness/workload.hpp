@@ -1,7 +1,8 @@
 // Trial harness: configuration, the mixed insert/delete/lookup key-range
 // workload the paper runs (50% inserts / 50% deletes over a fixed key
-// range, prefilled to half), per-trial measurement, and multi-trial
-// aggregation.
+// range, prefilled to half), per-trial measurement, multi-trial
+// aggregation, and the thread-churn mode (workers deregister and fresh
+// threads register mid-trial) the ThreadHandle API unlocks.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +34,12 @@ struct TrialConfig {
   /// Operation mix; lookups take the remaining fraction.
   double insert_frac = 0.5;
   double erase_frac = 0.5;
+  /// Thread-churn mode: every churn_interval_ms of the measured window
+  /// one worker deregisters its ThreadHandle and exits, and a fresh
+  /// thread registers and takes over its lane (round-robin over the
+  /// workers). 0 disables churn; churn requires nthreads >= 2.
+  /// EMR_CHURN_MS.
+  int churn_interval_ms = 0;
   bool enable_timeline = false;
   bool enable_garbage = false;
   std::uint64_t timeline_min_duration_ns = 10'000;
@@ -45,8 +52,9 @@ struct TrialConfig {
 void apply_env_overrides(TrialConfig& cfg);
 
 /// Fails fast on an inconsistent config: op fractions outside [0, 1] or
-/// summing past 1, and unknown ds / reclaimer / allocator names each
-/// throw std::invalid_argument naming the valid choices instead of
+/// summing past 1, a negative churn_interval_ms or churn on a single
+/// thread, and unknown ds / reclaimer / allocator names each throw
+/// std::invalid_argument naming the valid ranges/choices instead of
 /// silently defaulting. Trial's constructor runs this on every config.
 void validate_config(const TrialConfig& cfg);
 
@@ -102,6 +110,9 @@ struct TrialResult {
   double pct_free = 0;
   double pct_flush = 0;
   double pct_lock = 0;
+  /// Churn mode: how many workers deregistered and were replaced by a
+  /// freshly registered thread inside the measured window.
+  std::uint64_t threads_churned = 0;
 };
 
 struct AggregateResult {
@@ -113,8 +124,10 @@ struct AggregateResult {
 };
 
 /// One configured run: builds allocator + reclaimer + ds/ structure,
-/// prefills to keyrange/2, runs the op mix on nthreads threads for
-/// measure_ms, and leaves instruments readable until destruction.
+/// prefills to keyrange/2, runs the op mix on nthreads worker threads
+/// (each registering its own smr::ThreadHandle) for measure_ms — churning
+/// workers at churn_interval_ms when churn is on — and leaves instruments
+/// readable until destruction.
 class Trial {
  public:
   explicit Trial(const TrialConfig& cfg);

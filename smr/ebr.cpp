@@ -4,6 +4,12 @@
 // begin_op/end_op bracket is the protection. The pointer-protecting
 // schemes that used to alias this machinery live in their own
 // translation units now (smr/hp.cpp, smr/he_ibr_wfe.cpp, smr/nbr.cpp).
+//
+// Churn: a departing handle clears its announcement (so it can never pin
+// the epoch again), seals its bag and drains whatever grace already
+// allows; sealed bags that are still too young stay parked in the slot,
+// stamped with their seal epoch, and the slot's next owner adopts them
+// on registration (flush_all drains vacant slots at teardown).
 #include <algorithm>
 #include <atomic>
 #include <deque>
@@ -34,56 +40,14 @@ class EbrReclaimer final : public Reclaimer {
  public:
   EbrReclaimer(const EbrOptions& opt, const SmrContext& ctx,
                const SmrConfig& cfg, FreeExecutor* executor)
-      : opt_(opt),
+      : Reclaimer(cfg),
+        opt_(opt),
         ctx_(ctx),
         cfg_(cfg),
         executor_(executor),
-        slots_(static_cast<std::size_t>(std::max(cfg.num_threads, 1))) {}
+        slots_(cfg.slot_capacity()) {}
 
   ~EbrReclaimer() override { flush_all(); }
-
-  void begin_op(int tid) override {
-    EbrSlot& s = slot(tid);
-    if (opt_.quiescent) {
-      const std::uint64_t e = epoch_.load(std::memory_order_relaxed);
-      s.announce.store((e << 1) | 1, std::memory_order_relaxed);
-    } else {
-      const std::uint64_t e = epoch_.load(std::memory_order_acquire);
-      s.announce.store((e << 1) | 1, std::memory_order_seq_cst);
-    }
-  }
-
-  void end_op(int tid) override {
-    EbrSlot& s = slot(tid);
-    s.announce.store(s.announce.load(std::memory_order_relaxed) & ~1ULL,
-                     opt_.quiescent ? std::memory_order_relaxed
-                                    : std::memory_order_release);
-    if (++s.ops % kAdvanceEveryOps == 0) try_advance(tid);
-    if (!opt_.leak) collect_safe(tid, s);
-    executor_->on_op_end(tid);
-  }
-
-  void* protect(int, int, LoadFn load, const void* src) override {
-    return load(src);  // epoch-class scheme: reads need no publication
-  }
-
-  void retire(int tid, void* p) override {
-    EbrSlot& s = slot(tid);
-    retired_.fetch_add(1, std::memory_order_relaxed);
-    s.bag.push_back(p);
-    if (s.bag.size() >= cfg_.batch_size) {
-      seal(s);
-      try_advance(tid);
-    }
-  }
-
-  void* alloc_node(int tid, std::size_t size) override {
-    return executor_->alloc_node(tid, size);
-  }
-
-  void dealloc_unpublished(int tid, void* p) override {
-    ctx_.allocator->deallocate(tid, p);
-  }
 
   void flush_all() override {
     for (std::size_t t = 0; t < slots_.size(); ++t) {
@@ -111,9 +75,71 @@ class EbrReclaimer final : public Reclaimer {
   const char* name() const override { return opt_.name; }
   const char* family() const override { return "ebr"; }
 
+ protected:
+  void begin_op_slot(int slot_idx) override {
+    EbrSlot& s = slot(slot_idx);
+    if (opt_.quiescent) {
+      const std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+      s.announce.store((e << 1) | 1, std::memory_order_relaxed);
+    } else {
+      const std::uint64_t e = epoch_.load(std::memory_order_acquire);
+      s.announce.store((e << 1) | 1, std::memory_order_seq_cst);
+    }
+  }
+
+  void end_op_slot(int slot_idx) override {
+    EbrSlot& s = slot(slot_idx);
+    s.announce.store(s.announce.load(std::memory_order_relaxed) & ~1ULL,
+                     opt_.quiescent ? std::memory_order_relaxed
+                                    : std::memory_order_release);
+    if (++s.ops % kAdvanceEveryOps == 0) try_advance(slot_idx);
+    if (!opt_.leak) collect_safe(slot_idx, s);
+    executor_->on_op_end(slot_idx);
+  }
+
+  void* protect_slot(int, int, LoadFn load, const void* src) override {
+    return load(src);  // epoch-class scheme: reads need no publication
+  }
+
+  void retire_slot(int slot_idx, void* p) override {
+    EbrSlot& s = slot(slot_idx);
+    retired_.fetch_add(1, std::memory_order_relaxed);
+    s.bag.push_back(p);
+    if (s.bag.size() >= cfg_.batch_size) {
+      seal(s);
+      try_advance(slot_idx);
+    }
+  }
+
+  void* alloc_node_slot(int slot_idx, std::size_t size) override {
+    return executor_->alloc_node(slot_idx, size);
+  }
+
+  void dealloc_unpublished_slot(int slot_idx, void* p) override {
+    ctx_.allocator->deallocate(slot_idx, p);
+  }
+
+  /// Generation hand-off: the incoming thread adopts its predecessor's
+  /// parked bags, draining the ones whose grace has already elapsed.
+  void on_slot_register(int slot_idx) override {
+    if (!opt_.leak) collect_safe(slot_idx, slot(slot_idx));
+  }
+
+  /// Departure: the announcement drops (a vacated slot can never hold
+  /// an epoch back), the open bag is sealed, and aged bags drain now.
+  void on_slot_deregister(int slot_idx) override {
+    EbrSlot& s = slot(slot_idx);
+    s.announce.store(0, std::memory_order_release);
+    seal(s);
+    if (!opt_.leak) {
+      try_advance(slot_idx);
+      collect_safe(slot_idx, s);
+    }
+  }
+
  private:
-  EbrSlot& slot(int tid) {
-    const std::size_t i = static_cast<std::size_t>(tid);
+  EbrSlot& slot(int slot_idx) {
+    const std::size_t i = static_cast<std::size_t>(slot_idx);
     return slots_[i < slots_.size() ? i : 0];
   }
 
@@ -126,16 +152,16 @@ class EbrReclaimer final : public Reclaimer {
   }
 
   /// Hands every bag two epochs behind the global epoch to the executor.
-  void collect_safe(int tid, EbrSlot& s) {
+  void collect_safe(int slot_idx, EbrSlot& s) {
     if (s.sealed.empty()) return;
     const std::uint64_t e = epoch_.load(std::memory_order_acquire);
     while (!s.sealed.empty() && s.sealed.front().epoch + 2 <= e) {
-      executor_->on_reclaimable(tid, std::move(s.sealed.front().nodes));
+      executor_->on_reclaimable(slot_idx, std::move(s.sealed.front().nodes));
       s.sealed.pop_front();
     }
   }
 
-  void try_advance(int tid) {
+  void try_advance(int slot_idx) {
     const std::uint64_t e = epoch_.load(std::memory_order_acquire);
     for (const EbrSlot& s : slots_) {
       const std::uint64_t a = s.announce.load(std::memory_order_acquire);
@@ -145,7 +171,7 @@ class EbrReclaimer final : public Reclaimer {
     if (epoch_.compare_exchange_strong(expected, e + 1,
                                        std::memory_order_acq_rel)) {
       epochs_advanced_.fetch_add(1, std::memory_order_relaxed);
-      record_progress_beat(ctx_, tid, e + 1, stats().pending);
+      record_progress_beat(ctx_, slot_idx, e + 1, stats().pending);
     }
   }
 

@@ -10,72 +10,72 @@ namespace emr::smr {
 FreeExecutor::FreeExecutor(const SmrContext& ctx, const SmrConfig& cfg)
     : ctx_(ctx), cfg_(cfg) {}
 
-void* FreeExecutor::alloc_node(int tid, std::size_t size) {
+void* FreeExecutor::alloc_node(int lane, std::size_t size) {
   // Every node must have room for the reclaimer-owned intrusive header,
   // and the header must never be indeterminate: schemes that don't stamp
   // birth eras would otherwise hand make_node() uninitialized bytes.
-  void* p = ctx_.allocator->allocate(tid, std::max(size, sizeof(NodeHeader)));
+  void* p =
+      ctx_.allocator->allocate(lane, std::max(size, sizeof(NodeHeader)));
   static_cast<NodeHeader*>(p)->birth_era = 0;
   return p;
 }
 
-void FreeExecutor::timed_free(int tid, void* p) {
+void FreeExecutor::timed_free(int lane, void* p) {
   Timeline* tl = ctx_.timeline;
   if (tl != nullptr && tl->enabled()) {
     const std::uint64_t t0 = now_ns();
-    ctx_.allocator->deallocate(tid, p);
-    tl->record(tid, EventKind::kFreeCall, t0, now_ns());
+    ctx_.allocator->deallocate(lane, p);
+    tl->record(lane, EventKind::kFreeCall, t0, now_ns());
   } else {
-    ctx_.allocator->deallocate(tid, p);
+    ctx_.allocator->deallocate(lane, p);
   }
   freed_.fetch_add(1, std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------- batch
 
-void BatchFreeExecutor::on_reclaimable(int tid, std::vector<void*>&& bag) {
+void BatchFreeExecutor::on_reclaimable(int lane, std::vector<void*>&& bag) {
   if (bag.empty()) return;
   Timeline* tl = ctx_.timeline;
   const bool instrumented = tl != nullptr && tl->enabled();
   const std::uint64_t t0 = instrumented ? now_ns() : 0;
-  for (void* p : bag) timed_free(tid, p);
-  if (instrumented) tl->record(tid, EventKind::kBatchFree, t0, now_ns());
+  for (void* p : bag) timed_free(lane, p);
+  if (instrumented) tl->record(lane, EventKind::kBatchFree, t0, now_ns());
 }
 
 // ------------------------------------------------------------ amortized
 
 AmortizedFreeExecutor::AmortizedFreeExecutor(const SmrContext& ctx,
                                              const SmrConfig& cfg)
-    : FreeExecutor(ctx, cfg),
-      freeable_(static_cast<std::size_t>(std::max(cfg.num_threads, 1))) {}
+    : FreeExecutor(ctx, cfg), freeable_(cfg.slot_capacity()) {}
 
-AmortizedFreeExecutor::Freeable& AmortizedFreeExecutor::lane(int tid) {
-  const std::size_t i = static_cast<std::size_t>(tid);
+AmortizedFreeExecutor::Freeable& AmortizedFreeExecutor::lane(int lane_idx) {
+  const std::size_t i = static_cast<std::size_t>(lane_idx);
   return freeable_[i < freeable_.size() ? i : 0];
 }
 
-void AmortizedFreeExecutor::on_reclaimable(int tid,
+void AmortizedFreeExecutor::on_reclaimable(int lane_idx,
                                            std::vector<void*>&& bag) {
-  Freeable& f = lane(tid);
+  Freeable& f = lane(lane_idx);
   for (void* p : bag) f.nodes.push_back(p);
   f.size.store(f.nodes.size(), std::memory_order_relaxed);
 }
 
-void AmortizedFreeExecutor::on_op_end(int tid) {
-  Freeable& f = lane(tid);
+void AmortizedFreeExecutor::on_op_end(int lane_idx) {
+  Freeable& f = lane(lane_idx);
   std::size_t n = std::min<std::size_t>(cfg_.af_drain_per_op,
                                         f.nodes.size());
   while (n-- > 0) {
-    timed_free(tid, f.nodes.front());
+    timed_free(lane_idx, f.nodes.front());
     f.nodes.pop_front();
   }
   f.size.store(f.nodes.size(), std::memory_order_relaxed);
 }
 
-void AmortizedFreeExecutor::quiesce(int tid) {
-  Freeable& f = lane(tid);
+void AmortizedFreeExecutor::quiesce(int lane_idx) {
+  Freeable& f = lane(lane_idx);
   while (!f.nodes.empty()) {
-    timed_free(tid, f.nodes.front());
+    timed_free(lane_idx, f.nodes.front());
     f.nodes.pop_front();
   }
   f.size.store(0, std::memory_order_relaxed);
@@ -96,13 +96,13 @@ PoolingFreeExecutor::PoolingFreeExecutor(const SmrContext& ctx,
     : AmortizedFreeExecutor(ctx, cfg),
       pool_cap_(std::max<std::size_t>(cfg.batch_size * 4, 1024)) {}
 
-void* PoolingFreeExecutor::alloc_node(int tid, std::size_t size) {
+void* PoolingFreeExecutor::alloc_node(int lane_idx, std::size_t size) {
   // Trials use one node size; recycle only for that size and fall back to
   // the allocator for anything else.
   std::size_t expected = 0;
   common_size_.compare_exchange_strong(expected, size,
                                        std::memory_order_relaxed);
-  Freeable& f = lane(tid);
+  Freeable& f = lane(lane_idx);
   if (size == common_size_.load(std::memory_order_relaxed) &&
       !f.nodes.empty()) {
     void* p = f.nodes.front();
@@ -112,16 +112,17 @@ void* PoolingFreeExecutor::alloc_node(int tid, std::size_t size) {
     freed_.fetch_add(1, std::memory_order_relaxed);  // left limbo via reuse
     return p;
   }
-  void* p = ctx_.allocator->allocate(tid, std::max(size, sizeof(NodeHeader)));
+  void* p =
+      ctx_.allocator->allocate(lane_idx, std::max(size, sizeof(NodeHeader)));
   static_cast<NodeHeader*>(p)->birth_era = 0;
   return p;
 }
 
-void PoolingFreeExecutor::on_op_end(int tid) {
-  Freeable& f = lane(tid);
+void PoolingFreeExecutor::on_op_end(int lane_idx) {
+  Freeable& f = lane(lane_idx);
   std::size_t n = cfg_.af_drain_per_op;
   while (n-- > 0 && f.nodes.size() > pool_cap_) {
-    timed_free(tid, f.nodes.front());
+    timed_free(lane_idx, f.nodes.front());
     f.nodes.pop_front();
   }
   f.size.store(f.nodes.size(), std::memory_order_relaxed);

@@ -4,7 +4,7 @@
 //
 //   BatchFreeExecutor     - free the whole bag on the spot (the classical
 //                           EBR behaviour the paper shows is harmful).
-//   AmortizedFreeExecutor - append to a per-thread freeable list; each
+//   AmortizedFreeExecutor - append to a per-lane freeable list; each
 //                           end_op drains `af_drain_per_op` nodes (the
 //                           paper's asynchronous-free fix).
 //   PoolingFreeExecutor   - like amortized, but alloc_node is served from
@@ -15,9 +15,11 @@
 // transfers here, and each such node leaves limbo exactly once — through
 // one allocator deallocate (timed_free) or, for pooling, by being handed
 // back out of alloc_node(). Bags arrive already safe; delaying a free is
-// always allowed, freeing early is impossible by construction. Per-tid
-// entry points are safe across different tids (each tid owns its lane);
-// quiesce() is teardown-only and drains the lane completely.
+// always allowed, freeing early is impossible by construction. `lane` is
+// the registration slot of the calling ThreadHandle: entry points are
+// safe across different lanes (each lane's thread owns its state), and a
+// recycled slot hands its lane — backlog included — to the successor
+// thread. quiesce() is teardown-only and drains a lane completely.
 #pragma once
 
 #include <atomic>
@@ -32,15 +34,15 @@ namespace emr::smr {
 class BatchFreeExecutor final : public FreeExecutor {
  public:
   using FreeExecutor::FreeExecutor;
-  void on_reclaimable(int tid, std::vector<void*>&& bag) override;
+  void on_reclaimable(int lane, std::vector<void*>&& bag) override;
 };
 
 class AmortizedFreeExecutor : public FreeExecutor {
  public:
   AmortizedFreeExecutor(const SmrContext& ctx, const SmrConfig& cfg);
-  void on_reclaimable(int tid, std::vector<void*>&& bag) override;
-  void on_op_end(int tid) override;
-  void quiesce(int tid) override;
+  void on_reclaimable(int lane, std::vector<void*>&& bag) override;
+  void on_op_end(int lane) override;
+  void quiesce(int lane) override;
   std::uint64_t backlog() const override;
 
  protected:
@@ -48,7 +50,7 @@ class AmortizedFreeExecutor : public FreeExecutor {
     std::deque<void*> nodes;
     std::atomic<std::uint64_t> size{0};
   };
-  Freeable& lane(int tid);
+  Freeable& lane(int lane_idx);
   std::vector<Freeable> freeable_;
 };
 

@@ -22,6 +22,11 @@
 // node: alloc_node stamps the current era there and retire() reads it
 // back, so a node's lifetime interval travels with the node itself (the
 // IBR paper's birth_epoch field) instead of through a locked side table.
+//
+// Churn: a departing handle clears every reservation it published (its
+// eras/interval/open floor can never pin reclamation again) and runs a
+// departure scan; retires a live reservation still covers park in the
+// slot for the next owner (or flush_all).
 #include <algorithm>
 #include <atomic>
 #include <vector>
@@ -69,7 +74,8 @@ class EraReclaimer final : public Reclaimer {
  public:
   EraReclaimer(EraVariant variant, const SmrContext& ctx,
                const SmrConfig& cfg, FreeExecutor* executor)
-      : name_(era_variant_name(variant)),
+      : Reclaimer(cfg),
+        name_(era_variant_name(variant)),
         variant_(variant),
         ctx_(ctx),
         cfg_(cfg),
@@ -77,7 +83,7 @@ class EraReclaimer final : public Reclaimer {
         // Floor of 2 for the ds/ hand-over-hand slot alternation.
         nslots_(std::max<std::size_t>(cfg.hp_slots, 2)),
         epoch_freq_(std::max<std::size_t>(cfg.epoch_freq, 1)),
-        threads_(static_cast<std::size_t>(std::max(cfg.num_threads, 1))) {
+        threads_(cfg.slot_capacity()) {
     for (EraThread& t : threads_) {
       t.slots = std::make_unique<std::atomic<std::uint64_t>[]>(nslots_);
       for (std::size_t i = 0; i < nslots_; ++i) {
@@ -90,7 +96,7 @@ class EraReclaimer final : public Reclaimer {
 
   ~EraReclaimer() override { flush_all(); }
 
-  void begin_op(int tid) override {
+  void begin_op_slot(int tid) override {
     if (variant_ != EraVariant::kInterval) return;
     EraThread& t = slot(tid);
     const std::uint64_t e = era_.load(std::memory_order_acquire);
@@ -99,7 +105,7 @@ class EraReclaimer final : public Reclaimer {
     std::atomic_thread_fence(std::memory_order_seq_cst);
   }
 
-  void end_op(int tid) override {
+  void end_op_slot(int tid) override {
     EraThread& t = slot(tid);
     switch (variant_) {
       case EraVariant::kInterval:
@@ -120,7 +126,8 @@ class EraReclaimer final : public Reclaimer {
     executor_->on_op_end(tid);
   }
 
-  void* protect(int tid, int idx, LoadFn load, const void* src) override {
+  void* protect_slot(int tid, int idx, LoadFn load,
+                     const void* src) override {
     EraThread& t = slot(tid);
     switch (variant_) {
       case EraVariant::kInterval: {
@@ -142,7 +149,7 @@ class EraReclaimer final : public Reclaimer {
     return load(src);
   }
 
-  void retire(int tid, void* p) override {
+  void retire_slot(int tid, void* p) override {
     EraThread& t = slot(tid);
     retired_.fetch_add(1, std::memory_order_relaxed);
     const std::uint64_t e = era_.load(std::memory_order_acquire);
@@ -151,7 +158,7 @@ class EraReclaimer final : public Reclaimer {
     if (t.retired.size() >= t.scan_at) scan(tid, t);
   }
 
-  void* alloc_node(int tid, std::size_t size) override {
+  void* alloc_node_slot(int tid, std::size_t size) override {
     void* p = executor_->alloc_node(tid, size);
     EraThread& t = slot(tid);
     // Stamp the intrusive header; pool-recycled nodes are re-stamped here
@@ -162,8 +169,24 @@ class EraReclaimer final : public Reclaimer {
     return p;
   }
 
-  void dealloc_unpublished(int tid, void* p) override {
+  void dealloc_unpublished_slot(int tid, void* p) override {
     ctx_.allocator->deallocate(tid, p);
+  }
+
+  /// Departure: every reservation the thread published drops (a vacated
+  /// slot can never pin an era interval), then one scan drains whatever
+  /// no remaining reservation covers; survivors park for the successor.
+  void on_slot_deregister(int tid) override {
+    EraThread& t = slot(tid);
+    t.lower.store(0, std::memory_order_relaxed);
+    t.upper.store(0, std::memory_order_relaxed);
+    t.open.store(0, std::memory_order_release);
+    for (std::size_t i = 0; i < nslots_; ++i) {
+      if (t.slots[i].load(std::memory_order_relaxed) != 0) {
+        t.slots[i].store(0, std::memory_order_release);
+      }
+    }
+    if (!t.retired.empty()) scan(tid, t);
   }
 
   void flush_all() override {

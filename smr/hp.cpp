@@ -8,6 +8,11 @@
 // the unprotected suffix to the FreeExecutor as one bag — so the
 // paper's batch/amortized/pooling free schedules apply to HP retires
 // exactly as they do to epoch bags.
+//
+// Churn: a departing handle nulls its hazard slots (nothing it ever
+// protected stays pinned) and runs one departure scan over its retire
+// list; survivors still hazarded by other threads park in the slot for
+// the next owner's scans (or flush_all).
 #include <algorithm>
 #include <atomic>
 #include <vector>
@@ -31,19 +36,20 @@ class HpReclaimer final : public Reclaimer {
  public:
   HpReclaimer(const SmrContext& ctx, const SmrConfig& cfg,
               FreeExecutor* executor)
-      : ctx_(ctx),
+      : Reclaimer(cfg),
+        ctx_(ctx),
         cfg_(cfg),
         executor_(executor),
-        nthreads_(std::max(cfg.num_threads, 1)),
+        nlanes_(cfg.slot_capacity()),
         // Floor of 2: the ds/ traversals alternate two slots so the
         // previous hop stays protected while the next one publishes.
         nslots_(std::max<std::size_t>(cfg.hp_slots, 2)),
-        threads_(static_cast<std::size_t>(nthreads_)) {
+        threads_(cfg.slot_capacity()) {
     // Michael's R: a scan can only free anything once the list exceeds
     // the total hazard count H = N*K, so the effective threshold is the
     // paper's batch size floored at H+1.
-    scan_threshold_ = std::max<std::size_t>(
-        cfg_.batch_size, static_cast<std::size_t>(nthreads_) * nslots_ + 1);
+    scan_threshold_ =
+        std::max<std::size_t>(cfg_.batch_size, nlanes_ * nslots_ + 1);
     for (HpThread& t : threads_) {
       t.slots = std::make_unique<std::atomic<void*>[]>(nslots_);
       for (std::size_t i = 0; i < nslots_; ++i) {
@@ -56,47 +62,6 @@ class HpReclaimer final : public Reclaimer {
 
   ~HpReclaimer() override { flush_all(); }
 
-  void begin_op(int) override {}
-
-  void end_op(int tid) override {
-    HpThread& t = slot(tid);
-    for (std::size_t i = 0; i < nslots_; ++i) {
-      if (t.slots[i].load(std::memory_order_relaxed) != nullptr) {
-        t.slots[i].store(nullptr, std::memory_order_release);
-      }
-    }
-    executor_->on_op_end(tid);
-  }
-
-  void* protect(int tid, int idx, LoadFn load, const void* src) override {
-    HpThread& t = slot(tid);
-    std::atomic<void*>& hp =
-        t.slots[static_cast<std::size_t>(idx < 0 ? 0 : idx) % nslots_];
-    void* p = load(src);
-    for (;;) {
-      hp.store(p, std::memory_order_seq_cst);
-      std::atomic_thread_fence(std::memory_order_seq_cst);
-      void* q = load(src);
-      if (q == p) return p;  // publication was visible while p was live
-      p = q;
-    }
-  }
-
-  void retire(int tid, void* p) override {
-    HpThread& t = slot(tid);
-    retired_.fetch_add(1, std::memory_order_relaxed);
-    t.retired.push_back(p);
-    if (t.retired.size() >= t.scan_at) scan(tid, t);
-  }
-
-  void* alloc_node(int tid, std::size_t size) override {
-    return executor_->alloc_node(tid, size);
-  }
-
-  void dealloc_unpublished(int tid, void* p) override {
-    ctx_.allocator->deallocate(tid, p);
-  }
-
   void flush_all() override {
     for (HpThread& t : threads_) {
       for (std::size_t i = 0; i < nslots_; ++i) {
@@ -105,13 +70,13 @@ class HpReclaimer final : public Reclaimer {
     }
     for (std::size_t i = 0; i < threads_.size(); ++i) {
       HpThread& t = threads_[i];
-      const int tid = static_cast<int>(i);
+      const int lane = static_cast<int>(i);
       if (!t.retired.empty()) {
-        executor_->on_reclaimable(tid, std::move(t.retired));
+        executor_->on_reclaimable(lane, std::move(t.retired));
         t.retired = {};
         t.scan_at = scan_threshold_;
       }
-      executor_->quiesce(tid);
+      executor_->quiesce(lane);
     }
   }
 
@@ -128,17 +93,73 @@ class HpReclaimer final : public Reclaimer {
   const char* name() const override { return "hp"; }
   const char* family() const override { return "hp"; }
 
+ protected:
+  void begin_op_slot(int) override {}
+
+  void end_op_slot(int slot_idx) override {
+    HpThread& t = slot(slot_idx);
+    for (std::size_t i = 0; i < nslots_; ++i) {
+      if (t.slots[i].load(std::memory_order_relaxed) != nullptr) {
+        t.slots[i].store(nullptr, std::memory_order_release);
+      }
+    }
+    executor_->on_op_end(slot_idx);
+  }
+
+  void* protect_slot(int slot_idx, int idx, LoadFn load,
+                     const void* src) override {
+    HpThread& t = slot(slot_idx);
+    std::atomic<void*>& hp =
+        t.slots[static_cast<std::size_t>(idx < 0 ? 0 : idx) % nslots_];
+    void* p = load(src);
+    for (;;) {
+      hp.store(p, std::memory_order_seq_cst);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      void* q = load(src);
+      if (q == p) return p;  // publication was visible while p was live
+      p = q;
+    }
+  }
+
+  void retire_slot(int slot_idx, void* p) override {
+    HpThread& t = slot(slot_idx);
+    retired_.fetch_add(1, std::memory_order_relaxed);
+    t.retired.push_back(p);
+    if (t.retired.size() >= t.scan_at) scan(slot_idx, t);
+  }
+
+  void* alloc_node_slot(int slot_idx, std::size_t size) override {
+    return executor_->alloc_node(slot_idx, size);
+  }
+
+  void dealloc_unpublished_slot(int slot_idx, void* p) override {
+    ctx_.allocator->deallocate(slot_idx, p);
+  }
+
+  /// Departure: drop every hazard publication, then one scan hands the
+  /// unprotected retires to the executor; still-hazarded survivors park
+  /// in the slot for the successor's scans.
+  void on_slot_deregister(int slot_idx) override {
+    HpThread& t = slot(slot_idx);
+    for (std::size_t i = 0; i < nslots_; ++i) {
+      if (t.slots[i].load(std::memory_order_relaxed) != nullptr) {
+        t.slots[i].store(nullptr, std::memory_order_release);
+      }
+    }
+    if (!t.retired.empty()) scan(slot_idx, t);
+  }
+
  private:
-  HpThread& slot(int tid) {
-    const std::size_t i = static_cast<std::size_t>(tid);
+  HpThread& slot(int slot_idx) {
+    const std::size_t i = static_cast<std::size_t>(slot_idx);
     return threads_[i < threads_.size() ? i : 0];
   }
 
   /// Snapshot every hazard slot, hand the unprotected retires to the
   /// executor, keep the protected ones for the next scan.
-  void scan(int tid, HpThread& t) {
+  void scan(int slot_idx, HpThread& t) {
     std::vector<void*> hazards;
-    hazards.reserve(static_cast<std::size_t>(nthreads_) * nslots_);
+    hazards.reserve(nlanes_ * nslots_);
     for (const HpThread& th : threads_) {
       for (std::size_t i = 0; i < nslots_; ++i) {
         void* h = th.slots[i].load(std::memory_order_acquire);
@@ -162,14 +183,14 @@ class HpReclaimer final : public Reclaimer {
 
     scans_.fetch_add(1, std::memory_order_relaxed);
     const SmrStats st = stats();
-    record_progress_beat(ctx_, tid, st.epochs_advanced, st.pending);
-    if (!bag.empty()) executor_->on_reclaimable(tid, std::move(bag));
+    record_progress_beat(ctx_, slot_idx, st.epochs_advanced, st.pending);
+    if (!bag.empty()) executor_->on_reclaimable(slot_idx, std::move(bag));
   }
 
   SmrContext ctx_;
   SmrConfig cfg_;
   FreeExecutor* executor_;
-  int nthreads_;
+  std::size_t nlanes_;
   std::size_t nslots_;
   std::size_t scan_threshold_;
   std::vector<HpThread> threads_;

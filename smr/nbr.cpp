@@ -31,6 +31,10 @@
 //   nbrplus - NBR+'s reduced signalling: scans at the batch threshold
 //             reclaim whatever grace already allows, and only a list at
 //             twice the threshold forces a neutralization round.
+//
+// Churn: a departing handle drops its announcement (a vacated slot never
+// blocks grace) and runs a departure scan; neutralize_all already skips
+// slots with no announcement, so vacant slots are never "signalled".
 #include <algorithm>
 #include <atomic>
 #include <limits>
@@ -61,14 +65,15 @@ class NbrReclaimer final : public Reclaimer {
  public:
   NbrReclaimer(bool plus, const SmrContext& ctx, const SmrConfig& cfg,
                FreeExecutor* executor)
-      : name_(plus ? "nbrplus" : "nbr"),
+      : Reclaimer(cfg),
+        name_(plus ? "nbrplus" : "nbr"),
         plus_(plus),
         ctx_(ctx),
         cfg_(cfg),
         executor_(executor),
         epoch_freq_(std::max<std::size_t>(cfg.epoch_freq, 1)),
         scan_threshold_(std::max<std::size_t>(cfg.batch_size, 1)),
-        threads_(static_cast<std::size_t>(std::max(cfg.num_threads, 1))) {
+        threads_(cfg.slot_capacity()) {
     for (NbrThread& t : threads_) {
       t.retired.reserve(scan_threshold_);
       t.scan_at = scan_threshold_;
@@ -77,7 +82,7 @@ class NbrReclaimer final : public Reclaimer {
 
   ~NbrReclaimer() override { flush_all(); }
 
-  void begin_op(int tid) override {
+  void begin_op_slot(int tid) override {
     NbrThread& t = slot(tid);
     t.neutralize.store(false, std::memory_order_relaxed);
     t.start.store(era_.load(std::memory_order_acquire),
@@ -85,17 +90,17 @@ class NbrReclaimer final : public Reclaimer {
     std::atomic_thread_fence(std::memory_order_seq_cst);
   }
 
-  void end_op(int tid) override {
+  void end_op_slot(int tid) override {
     NbrThread& t = slot(tid);
     t.start.store(0, std::memory_order_release);
     executor_->on_op_end(tid);
   }
 
-  void* protect(int, int, LoadFn load, const void* src) override {
+  void* protect_slot(int, int, LoadFn load, const void* src) override {
     return load(src);  // reads are plain; the announcement is the shield
   }
 
-  bool validate(int tid) override {
+  bool validate_slot(int tid) override {
     NbrThread& t = slot(tid);
     if (!t.neutralize.load(std::memory_order_relaxed)) return true;
     // Restart the read block: drop the old announcement and re-enter at
@@ -109,7 +114,7 @@ class NbrReclaimer final : public Reclaimer {
     return false;
   }
 
-  void retire(int tid, void* p) override {
+  void retire_slot(int tid, void* p) override {
     NbrThread& t = slot(tid);
     retired_.fetch_add(1, std::memory_order_relaxed);
     t.retired.push_back(
@@ -123,14 +128,24 @@ class NbrReclaimer final : public Reclaimer {
     scan(tid, t);
   }
 
-  void* alloc_node(int tid, std::size_t size) override {
+  void* alloc_node_slot(int tid, std::size_t size) override {
     NbrThread& t = slot(tid);
     if (++t.allocs % epoch_freq_ == 0) advance_era(tid);
     return executor_->alloc_node(tid, size);
   }
 
-  void dealloc_unpublished(int tid, void* p) override {
+  void dealloc_unpublished_slot(int tid, void* p) override {
     ctx_.allocator->deallocate(tid, p);
+  }
+
+  /// Departure: the announcement drops (a vacated slot never blocks
+  /// grace again) and one scan drains every retire older than the
+  /// remaining announcements; the rest parks for the successor.
+  void on_slot_deregister(int tid) override {
+    NbrThread& t = slot(tid);
+    t.start.store(0, std::memory_order_release);
+    t.neutralize.store(false, std::memory_order_relaxed);
+    if (!t.retired.empty()) scan(tid, t);
   }
 
   void flush_all() override {

@@ -12,14 +12,14 @@ class PoolingFreeExecutor final : public AmortizedFreeExecutor {
  public:
   PoolingFreeExecutor(const SmrContext& ctx, const SmrConfig& cfg);
 
-  /// Serves from the thread's freeable list when a recycled node of a
+  /// Serves from the lane's freeable list when a recycled node of a
   /// compatible size is available; falls back to the allocator.
-  void* alloc_node(int tid, std::size_t size) override;
+  void* alloc_node(int lane, std::size_t size) override;
 
   /// Pooling keeps the backlog as inventory: the per-op drain only trims
   /// what exceeds the pool cap, so on_op_end frees far less than the
   /// amortized executor does.
-  void on_op_end(int tid) override;
+  void on_op_end(int lane) override;
 
   std::uint64_t total_pooled_allocs() const {
     return pooled_allocs_.load(std::memory_order_relaxed);

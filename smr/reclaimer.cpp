@@ -1,0 +1,51 @@
+// Registration-slot registry behind the ThreadHandle API. Registration
+// and release are deliberately coarse (one mutex): they happen at thread
+// birth/death — at most once per churn interval — while the per-op paths
+// stay lock-free and touch only the slot the handle pins.
+#include "smr/reclaimer.hpp"
+
+namespace emr::smr {
+
+Reclaimer::Reclaimer(const SmrConfig& cfg)
+    : slot_state_(cfg.slot_capacity()) {
+  free_slots_.reserve(slot_state_.size());
+  // LIFO pop order hands out slot 0 first, matching the dense-tid layout
+  // instruments and tests expect for a churn-free population.
+  for (std::size_t i = slot_state_.size(); i > 0; --i) {
+    free_slots_.push_back(static_cast<int>(i - 1));
+  }
+}
+
+ThreadHandle Reclaimer::register_thread() {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  if (free_slots_.empty()) {
+    throw std::runtime_error(
+        "register_thread: all " + std::to_string(slot_state_.size()) +
+        " registration slots are live (raise SmrConfig::num_threads or "
+        "extra_slots)");
+  }
+  const int slot = free_slots_.back();
+  free_slots_.pop_back();
+  SlotState& s = slot_state_[static_cast<std::size_t>(slot)];
+  ++s.generation;
+  // Adoption hook first: the incoming thread owns the slot's parked
+  // backlog before the slot is visible as active to ring/scan logic.
+  on_slot_register(slot);
+  s.active.store(true, std::memory_order_seq_cst);
+  active_count_.fetch_add(1, std::memory_order_acq_rel);
+  return ThreadHandle(this, slot, s.generation);
+}
+
+void Reclaimer::deregister(ThreadHandle& h) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  const int slot = h.slot_;
+  SlotState& s = slot_state_[static_cast<std::size_t>(slot)];
+  // Inactive first so scheme departure hooks (token hand-off, epoch
+  // advance checks) already see the slot as vacant.
+  s.active.store(false, std::memory_order_seq_cst);
+  active_count_.fetch_sub(1, std::memory_order_acq_rel);
+  on_slot_deregister(slot);
+  free_slots_.push_back(slot);
+}
+
+}  // namespace emr::smr

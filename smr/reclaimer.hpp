@@ -5,6 +5,14 @@
 // split: the same reclaimer can be catastrophic or fast depending on the
 // free schedule it hands the allocator.
 //
+// Thread model: threads participate by holding a ThreadHandle obtained
+// from Reclaimer::register_thread(). The handle is RAII — destruction (or
+// release()) deregisters the thread, drains or hands off its retire
+// backlog, and recycles its slot for a future thread. There is no fixed
+// thread population: workloads where threads join and leave mid-run (the
+// harness's churn mode) are first-class, and a departed thread can never
+// pin the epoch or leak its limbo bags.
+//
 // Scheme families behind this interface (see docs/SMR_SCHEMES.md):
 //   smr/ebr.cpp        - epoch-based: none, qsbr, rcu, debra
 //   smr/token.cpp      - Token-EBR: token_naive, token_passfirst, token
@@ -17,7 +25,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <new>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -29,8 +39,17 @@
 
 namespace emr::smr {
 
+class Reclaimer;
+
 struct SmrConfig {
+  /// Expected steady-state worker population; sizes the registration
+  /// slot table together with `extra_slots`.
   int num_threads = 1;
+  /// Registration slots beyond num_threads: headroom for a replacement
+  /// thread registering while its predecessor's slot is still draining
+  /// (churn overlap) and for the single-threaded teardown handle the
+  /// ds/ destructors take. Floored at 1.
+  std::size_t extra_slots = 2;
   /// Retires per limbo bag before the bag is sealed and an epoch advance
   /// is attempted (the paper's batch size; Experiment 2 uses 32768). The
   /// pointer-protecting schemes use the same value as their retire-list
@@ -47,6 +66,16 @@ struct SmrConfig {
   /// bumped once per this many node allocations on any one thread (the
   /// IBR paper's epoch_freq). EMR_EPOCH_FREQ.
   std::size_t epoch_freq = 64;
+
+  /// Total registration slots: how many ThreadHandles may be live at
+  /// once. Every per-thread array in the schemes, executors and modelled
+  /// allocators is sized from this.
+  std::size_t slot_capacity() const {
+    const std::size_t base =
+        static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads);
+    const std::size_t extra = extra_slots < 1 ? 1 : extra_slots;
+    return base + extra;
+  }
 };
 
 /// Shared services handed to a reclaimer at construction. Only
@@ -84,6 +113,12 @@ struct SmrStats {
 /// allocator traffic (see smr/free_executor.hpp for the batch, amortized,
 /// and pooling implementations).
 ///
+/// Executors do not see thread identity at all: every entry point takes
+/// the registration-slot `lane` the owning reclaimer derived from the
+/// calling ThreadHandle. A lane changes hands when a slot is recycled —
+/// the successor thread inherits (and keeps amortizing) whatever backlog
+/// its predecessor's handle left behind.
+///
 /// Contract:
 ///  - Ownership of every pointer in an on_reclaimable() bag transfers to
 ///    the executor; the reclaimer must never touch it again. Each such
@@ -95,13 +130,13 @@ struct SmrStats {
 ///  - A node handed over is safe to reclaim *now*; executors may delay
 ///    the actual free arbitrarily (delaying is always safe) but may
 ///    never free early, because they never see unsafe nodes at all.
-///  - alloc_node()/on_reclaimable()/on_op_end() are called by the owning
-///    thread `tid` only and must be thread-safe across *different* tids
-///    (per-tid lanes, atomic counters). quiesce() and destruction are
-///    single-threaded: callers must ensure no thread is inside an
-///    operation.
-///  - quiesce(tid) drains every node the executor still holds for `tid`;
-///    after quiesce has run for all tids, backlog() == 0 and
+///  - alloc_node()/on_reclaimable()/on_op_end() are called by the thread
+///    currently owning `lane` only and must be thread-safe across
+///    *different* lanes (per-lane state, atomic counters). quiesce() and
+///    destruction are single-threaded: callers must ensure no thread is
+///    inside an operation.
+///  - quiesce(lane) drains every node the executor still holds for that
+///    lane; after quiesce has run for all lanes, backlog() == 0 and
 ///    total_freed() equals the number of nodes ever handed over (plus
 ///    pool recycles).
 class FreeExecutor {
@@ -111,16 +146,16 @@ class FreeExecutor {
 
   /// Serves a node allocation; the default goes straight to the
   /// allocator. Pooling overrides this.
-  virtual void* alloc_node(int tid, std::size_t size);
+  virtual void* alloc_node(int lane, std::size_t size);
 
   /// A bag of nodes is now safe to reclaim. Ownership transfers.
-  virtual void on_reclaimable(int tid, std::vector<void*>&& bag) = 0;
+  virtual void on_reclaimable(int lane, std::vector<void*>&& bag) = 0;
 
   /// Called once per completed operation (the amortization hook).
-  virtual void on_op_end(int tid) { (void)tid; }
+  virtual void on_op_end(int lane) { (void)lane; }
 
-  /// Frees any backlog held for `tid`. Single-threaded use only.
-  virtual void quiesce(int tid) { (void)tid; }
+  /// Frees any backlog held for `lane`. Single-threaded use only.
+  virtual void quiesce(int lane) { (void)lane; }
 
   /// Nodes this executor has freed or recycled (== left limbo).
   std::uint64_t total_freed() const {
@@ -133,45 +168,122 @@ class FreeExecutor {
  protected:
   /// Frees one node through the allocator, timing it into the trial
   /// timeline as a kFreeCall when instrumentation is on.
-  void timed_free(int tid, void* p);
+  void timed_free(int lane, void* p);
 
   SmrContext ctx_;
   SmrConfig cfg_;
   std::atomic<std::uint64_t> freed_{0};
 };
 
+/// RAII thread registration. A thread joins a reclaimer's population
+/// with register_thread(), drives every read-side call through the
+/// returned handle, and leaves by letting the handle die (or calling
+/// release() early). Internally the handle pins one registration slot —
+/// the dense lane index every per-thread array in the scheme, executor
+/// and allocator layers is keyed by — plus the slot's generation, which
+/// bumps each time the slot is recycled to a new thread.
+///
+/// Contract:
+///  - One live thread per handle at a time; handles are movable, never
+///    copyable. A thread may hold handles on several reclaimers, and a
+///    single-threaded driver may multiplex several handles of one
+///    reclaimer (the tests do), but two threads must never share one.
+///  - Release only outside an operation (no live Guard on the handle).
+///    Releasing hands the slot's retire backlog to the scheme's
+///    departure path: anything already safe drains, the rest is adopted
+///    by the slot's next owner or by flush_all() — never leaked, and
+///    the departed thread never pins the epoch.
+///  - Handles must not outlive their Reclaimer.
+class ThreadHandle {
+ public:
+  ThreadHandle() = default;
+  ThreadHandle(ThreadHandle&& o) noexcept
+      : r_(o.r_), slot_(o.slot_), gen_(o.gen_) {
+    o.r_ = nullptr;
+    o.slot_ = -1;
+  }
+  ThreadHandle& operator=(ThreadHandle&& o) noexcept {
+    if (this != &o) {
+      release();
+      r_ = o.r_;
+      slot_ = o.slot_;
+      gen_ = o.gen_;
+      o.r_ = nullptr;
+      o.slot_ = -1;
+    }
+    return *this;
+  }
+  ~ThreadHandle() { release(); }
+
+  ThreadHandle(const ThreadHandle&) = delete;
+  ThreadHandle& operator=(const ThreadHandle&) = delete;
+
+  /// Deregisters now (idempotent); the handle is detached afterwards.
+  void release();
+
+  bool attached() const { return r_ != nullptr; }
+
+  /// The registration slot (dense lane index). Meaningful only while
+  /// attached; exposed for instruments and allocator lanes.
+  int slot() const { return slot_; }
+
+  /// How many threads (including this one) have owned the slot.
+  std::uint64_t generation() const { return gen_; }
+
+  Reclaimer& reclaimer() const { return *r_; }
+
+ private:
+  friend class Reclaimer;
+  ThreadHandle(Reclaimer* r, int slot, std::uint64_t gen)
+      : r_(r), slot_(slot), gen_(gen) {}
+
+  Reclaimer* r_ = nullptr;
+  int slot_ = -1;
+  std::uint64_t gen_ = 0;
+};
+
 /// A safe-memory-reclamation scheme.
 ///
 /// Contract:
-///  - Thread model: `tid` identifies the calling thread; a given tid's
+///  - Thread model: every read-side call is made through a live
+///    ThreadHandle from register_thread(). A given handle's
 ///    begin_op/protect/retire/end_op/alloc_node calls are made by one
 ///    thread at a time, bracketed begin_op..end_op per operation.
-///    Different tids run concurrently; implementations communicate
+///    Different handles run concurrently; implementations communicate
 ///    between them only through atomics (announcements, hazard slots,
 ///    era reservations).
-///  - retire(tid, p) transfers ownership of `p` to the scheme. The node
+///  - retire(h, p) transfers ownership of `p` to the scheme. The node
 ///    must already be unreachable from the structure (unlinked). It will
 ///    be released exactly once: handed to the FreeExecutor no earlier
 ///    than when no concurrent protect()/begin_op() publication still
-///    covers it.
-///  - protect(tid, idx, load, src) returns a pointer read through
+///    covers it. A handle released with retires still in limbo does not
+///    leak them — the departure path drains what grace already allows
+///    and leaves the rest for the slot's next owner or flush_all().
+///  - protect(h, idx, load, src) returns a pointer read through
 ///    `load(src)` that is guaranteed not to be handed to the executor
 ///    until the protection lapses (end_op for slot/era schemes; the next
 ///    neutralized protect for nbr). Epoch-class schemes return the plain
 ///    load — their begin_op/end_op bracket is the protection.
 ///  - flush_all() is the teardown path: callers guarantee no thread is
 ///    inside an operation; the scheme drops every publication, hands all
-///    retired nodes to the executor and quiesces it, leaving
-///    stats().pending == 0. It is idempotent and runs again from the
-///    destructor.
+///    retired nodes (every slot's, vacant ones included) to the executor
+///    and quiesces it, leaving stats().pending == 0. It is idempotent
+///    and runs again from the destructor.
 ///  - stats() may be called concurrently with operations; counters are
 ///    monotonic and may be momentarily inconsistent with each other.
 class Reclaimer {
  public:
   virtual ~Reclaimer() = default;
 
-  virtual void begin_op(int tid) = 0;
-  virtual void end_op(int tid) = 0;
+  /// Joins the calling thread to the population: claims a free slot
+  /// (recycling released ones through a free-list), bumps its
+  /// generation, runs the scheme's adoption hook, and returns the RAII
+  /// handle. Throws std::runtime_error when all slot_capacity() slots
+  /// are live — raise SmrConfig::num_threads/extra_slots for more.
+  ThreadHandle register_thread();
+
+  void begin_op(ThreadHandle& h) { begin_op_slot(check(h)); }
+  void end_op(ThreadHandle& h) { end_op_slot(check(h)); }
 
   /// Loads a pointer through `load(src)` under this scheme's protection
   /// (hazard-pointer-class schemes publish + fence + validate; epoch
@@ -182,7 +294,9 @@ class Reclaimer {
   /// means the source node is being unlinked (restart from a root rather
   /// than dereferencing it).
   using LoadFn = void* (*)(const void* src);
-  virtual void* protect(int tid, int idx, LoadFn load, const void* src) = 0;
+  void* protect(ThreadHandle& h, int idx, LoadFn load, const void* src) {
+    return protect_slot(check(h), idx, load, src);
+  }
 
   /// Read-side validation hook: true while every pointer obtained earlier
   /// in this operation is still protected. Schemes that can revoke
@@ -191,21 +305,28 @@ class Reclaimer {
   /// does), after which the caller must drop every pointer it holds and
   /// restart from a structure root. Lock-free traversals call this once
   /// per hop; all other schemes return true unconditionally.
-  virtual bool validate(int tid) {
-    (void)tid;
-    return true;
-  }
+  bool validate(ThreadHandle& h) { return validate_slot(check(h)); }
 
-  virtual void retire(int tid, void* p) = 0;
+  void retire(ThreadHandle& h, void* p) { retire_slot(check(h), p); }
 
   /// Node allocation goes through the reclaimer so pooling variants can
   /// serve it from the freeable list and era schemes can stamp birth
   /// eras.
-  virtual void* alloc_node(int tid, std::size_t size) = 0;
+  void* alloc_node(ThreadHandle& h, std::size_t size) {
+    return alloc_node_slot(check(h), size);
+  }
 
   /// Returns a node that was never published to the structure (or is
   /// being torn down single-threadedly) straight to the allocator.
-  virtual void dealloc_unpublished(int tid, void* p) = 0;
+  void dealloc_unpublished(ThreadHandle& h, void* p) {
+    dealloc_unpublished_slot(check(h), p);
+  }
+
+  /// Handle-less unpublished-node return for teardown paths that may
+  /// run with the slot table exhausted (destructors must not throw).
+  /// Uses lane 0; callers guarantee no thread is operating through
+  /// this reclaimer — the same single-threaded contract as flush_all().
+  void dealloc_teardown(void* p) { dealloc_unpublished_slot(0, p); }
 
   /// Quiesces and frees every retired node. Call only when no thread is
   /// inside an operation (trial teardown, tests).
@@ -219,7 +340,83 @@ class Reclaimer {
   /// Lets tests and CI assert that the pointer-protecting names are not
   /// quietly aliased onto the epoch machinery.
   virtual const char* family() const = 0;
+
+  /// Registration-slot table size (SmrConfig::slot_capacity()).
+  std::size_t slot_capacity() const { return slot_state_.size(); }
+
+  /// True while a live ThreadHandle owns `slot`. Readable from any
+  /// thread; schemes use it to route around vacant slots (the token
+  /// ring) and tests to observe churn.
+  bool slot_active(int slot) const {
+    const std::size_t i = static_cast<std::size_t>(slot);
+    return i < slot_state_.size() &&
+           slot_state_[i].active.load(std::memory_order_acquire);
+  }
+
+  /// Currently registered handles.
+  std::size_t active_slots() const {
+    return active_count_.load(std::memory_order_acquire);
+  }
+
+ protected:
+  explicit Reclaimer(const SmrConfig& cfg);
+
+  // Per-slot entry points the scheme TUs implement. `slot` is the dense
+  // lane index the public handle API resolved; one thread drives a slot
+  // at a time (the handle contract), distinct slots run concurrently.
+  virtual void begin_op_slot(int slot) = 0;
+  virtual void end_op_slot(int slot) = 0;
+  virtual void* protect_slot(int slot, int idx, LoadFn load,
+                             const void* src) = 0;
+  virtual bool validate_slot(int slot) {
+    (void)slot;
+    return true;
+  }
+  virtual void retire_slot(int slot, void* p) = 0;
+  virtual void* alloc_node_slot(int slot, std::size_t size) = 0;
+  virtual void dealloc_unpublished_slot(int slot, void* p) = 0;
+
+  /// Generation hand-off hooks, run under the registry lock while the
+  /// slot is unowned (register: before the slot goes active, so the
+  /// incoming thread may adopt a predecessor's aged backlog;
+  /// deregister: after it went inactive, so the scheme drops the
+  /// departing thread's publications — announcements, hazard slots, era
+  /// reservations — and drains or parks its retire backlog). Concurrent
+  /// readers may be scanning the slot's atomics throughout.
+  virtual void on_slot_register(int slot) { (void)slot; }
+  virtual void on_slot_deregister(int slot) { (void)slot; }
+
+ private:
+  friend class ThreadHandle;
+
+  void deregister(ThreadHandle& h);
+
+  int check(const ThreadHandle& h) const {
+    if (h.r_ != this) {
+      throw std::logic_error(
+          "ThreadHandle is detached or belongs to another reclaimer");
+    }
+    return h.slot_;
+  }
+
+  struct alignas(64) SlotState {
+    std::atomic<bool> active{false};
+    std::uint64_t generation = 0;
+  };
+
+  std::vector<SlotState> slot_state_;
+  std::vector<int> free_slots_;  // LIFO: hottest slot is reused first
+  std::mutex reg_mu_;
+  std::atomic<std::size_t> active_count_{0};
 };
+
+inline void ThreadHandle::release() {
+  if (r_ != nullptr) {
+    r_->deregister(*this);
+    r_ = nullptr;
+    slot_ = -1;
+  }
+}
 
 /// make_reclaimer's result: the executor must outlive the reclaimer, so
 /// they travel together (executor declared first => destroyed last).
@@ -229,11 +426,12 @@ struct ReclaimerBundle {
 };
 
 /// RAII read-side guard: one Guard brackets one structure operation
-/// (begin_op at construction, end_op at destruction), and every hazardous
-/// load inside the bracket goes through protect(). This is the whole
-/// read-side protocol a lock-free structure needs:
+/// (begin_op at construction, end_op at destruction) on behalf of a
+/// registered ThreadHandle, and every hazardous load inside the bracket
+/// goes through protect(). This is the whole read-side protocol a
+/// lock-free structure needs:
 ///
-///   Guard g(reclaimer, tid);
+///   Guard g(handle);
 ///   Node* n = g.protect(0, root_);          // slot 0
 ///   while (...) {
 ///     if (ds::is_marked(n)) goto restart;   // source was being unlinked
@@ -244,12 +442,14 @@ struct ReclaimerBundle {
 /// protect() alternating between two slots keeps the previous hop's node
 /// protected while the next one is published — the hand-over-hand pattern
 /// every hazard-class scheme needs; epoch-class schemes ignore the slot.
-/// Guards do not nest on one tid: a thread runs one guarded operation at
-/// a time.
+/// Guards do not nest on one handle: a thread runs one guarded operation
+/// at a time, and must not release the handle while a Guard is live.
 class Guard {
  public:
-  Guard(Reclaimer& r, int tid) : r_(r), tid_(tid) { r_.begin_op(tid_); }
-  ~Guard() { r_.end_op(tid_); }
+  explicit Guard(ThreadHandle& h) : r_(h.reclaimer()), h_(h) {
+    r_.begin_op(h_);
+  }
+  ~Guard() { r_.end_op(h_); }
 
   Guard(const Guard&) = delete;
   Guard& operator=(const Guard&) = delete;
@@ -258,17 +458,17 @@ class Guard {
   /// Reclaimer::protect).
   template <typename T>
   T* protect(int slot, const std::atomic<T*>& src) {
-    return static_cast<T*>(r_.protect(tid_, slot, &load_fn<T>, &src));
+    return static_cast<T*>(r_.protect(h_, slot, &load_fn<T>, &src));
   }
 
   /// True while earlier pointers from this guard are still protected;
   /// false means restart from a root (NBR neutralization).
-  bool validate() { return r_.validate(tid_); }
+  bool validate() { return r_.validate(h_); }
 
   /// Retires an unlinked node through the guarded reclaimer.
-  void retire(void* p) { r_.retire(tid_, p); }
+  void retire(void* p) { r_.retire(h_, p); }
 
-  int tid() const { return tid_; }
+  ThreadHandle& handle() const { return h_; }
   Reclaimer& reclaimer() const { return r_; }
 
  private:
@@ -279,20 +479,52 @@ class Guard {
   }
 
   Reclaimer& r_;
-  int tid_;
+  ThreadHandle& h_;
 };
 
-/// Allocates a node through the reclaimer and constructs a T in it while
-/// preserving the reclaimer's NodeHeader stamp (T's constructor would
-/// otherwise zero the birth era). T must be standard-layout with a
+/// Deallocation cursor for single-threaded teardown (the ds/
+/// destructors): registers a transient handle when a slot is free — so
+/// the frees land on their own allocator lane — and degrades to the
+/// handle-less dealloc_teardown() path when the table is exhausted,
+/// because a destructor must not let register_thread()'s exhaustion
+/// error escape. Callers guarantee no thread is operating through the
+/// reclaimer for the cursor's lifetime (the flush_all() contract).
+class TeardownCursor {
+ public:
+  explicit TeardownCursor(Reclaimer& r) : r_(r) {
+    try {
+      h_ = r_.register_thread();
+    } catch (const std::runtime_error&) {
+      // Full slot table: fall back to lane 0. Teardown is
+      // single-threaded, so the lane is quiescent even when its owner
+      // is still registered.
+    }
+  }
+
+  void dealloc(void* p) {
+    if (h_.attached()) {
+      r_.dealloc_unpublished(h_, p);
+    } else {
+      r_.dealloc_teardown(p);
+    }
+  }
+
+ private:
+  Reclaimer& r_;
+  ThreadHandle h_;
+};
+
+/// Allocates a node through the handle's reclaimer and constructs a T in
+/// it while preserving the reclaimer's NodeHeader stamp (T's constructor
+/// would otherwise zero the birth era). T must be standard-layout with a
 /// NodeHeader as its first member.
 template <typename T, typename... Args>
-T* make_node(Reclaimer& r, int tid, Args&&... args) {
+T* make_node(ThreadHandle& h, Args&&... args) {
   static_assert(std::is_standard_layout_v<T>,
                 "node types must be standard-layout so the NodeHeader "
                 "stays at offset 0");
   static_assert(sizeof(T) >= sizeof(NodeHeader));
-  void* p = r.alloc_node(tid, sizeof(T));
+  void* p = h.reclaimer().alloc_node(h, sizeof(T));
   const NodeHeader stamp = *static_cast<const NodeHeader*>(p);
   T* t = new (p) T(std::forward<Args>(args)...);
   *reinterpret_cast<NodeHeader*>(t) = stamp;

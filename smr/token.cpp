@@ -1,8 +1,9 @@
 // Token-EBR family (the paper's section 5 progression). A single token
-// circulates; holding it proves every other thread has quiesced since the
-// previous visit, so a bag sealed at pass p is safe once the token has
-// made two further full rotations. The four policies differ only in the
-// free schedule the holder runs:
+// circulates among the *registered* slots; holding it proves every other
+// thread has quiesced since the previous visit, so a bag sealed at pass
+// p is safe once enough further passes have happened for two full
+// rotations. The four policies differ only in the free schedule the
+// holder runs:
 //
 //   token_naive     - the holder frees EVERY thread's safe bags before
 //                     passing: frees serialize on one thread, rotations
@@ -14,6 +15,13 @@
 //                     periodic variant (Fig 8).
 //   token_af        - pass first, hand safe bags to the amortized
 //                     executor: per-op drains, no pile-up (Fig 9).
+//
+// Churn: pass_token routes to the next *active* slot, so a vacated slot
+// is skipped instead of stalling the rotation forever; if the token is
+// parked on a slot whose owner departed (or the departing holder loses
+// the hand-off race), any active thread's next end_op adopts it with a
+// CAS. A departing handle seals its bag, drains what is already safe and
+// parks the rest for the slot's successor (or flush_all).
 #include <algorithm>
 #include <atomic>
 #include <deque>
@@ -41,41 +49,15 @@ class TokenReclaimer final : public Reclaimer {
  public:
   TokenReclaimer(const TokenOptions& opt, const SmrContext& ctx,
                  const SmrConfig& cfg, FreeExecutor* executor)
-      : opt_(opt),
+      : Reclaimer(cfg),
+        opt_(opt),
         ctx_(ctx),
         cfg_(cfg),
         executor_(executor),
-        nthreads_(std::max(cfg.num_threads, 1)),
-        slots_(static_cast<std::size_t>(nthreads_)) {}
+        nlanes_(static_cast<int>(cfg.slot_capacity())),
+        slots_(cfg.slot_capacity()) {}
 
   ~TokenReclaimer() override { flush_all(); }
-
-  void begin_op(int) override {}
-
-  void end_op(int tid) override {
-    if (holder_.load(std::memory_order_acquire) == tid) on_token(tid);
-    executor_->on_op_end(tid);
-  }
-
-  void* protect(int, int, LoadFn load, const void* src) override {
-    return load(src);  // epoch-class scheme: reads need no publication
-  }
-
-  void retire(int tid, void* p) override {
-    TokenSlot& s = slot(tid);
-    retired_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(s.mu);
-    s.bag.push_back(p);
-    if (s.bag.size() >= cfg_.batch_size) seal(s);
-  }
-
-  void* alloc_node(int tid, std::size_t size) override {
-    return executor_->alloc_node(tid, size);
-  }
-
-  void dealloc_unpublished(int tid, void* p) override {
-    ctx_.allocator->deallocate(tid, p);
-  }
 
   void flush_all() override {
     for (std::size_t t = 0; t < slots_.size(); ++t) {
@@ -97,7 +79,7 @@ class TokenReclaimer final : public Reclaimer {
     st.freed = executor_->total_freed();
     st.pending = st.retired - st.freed;
     st.epochs_advanced = passes_.load(std::memory_order_relaxed) /
-                         static_cast<std::uint64_t>(nthreads_);
+                         static_cast<std::uint64_t>(nlanes_);
     return st;
   }
 
@@ -105,9 +87,75 @@ class TokenReclaimer final : public Reclaimer {
   const char* name() const override { return opt_.name; }
   const char* family() const override { return "token"; }
 
+ protected:
+  void begin_op_slot(int) override {}
+
+  void end_op_slot(int slot_idx) override {
+    std::uint64_t word = holder_.load(std::memory_order_acquire);
+    if (holder_slot(word) == slot_idx) {
+      on_token(slot_idx, word);
+    } else if (!slot_active(holder_slot(word))) {
+      // The token is parked on a vacated slot (its owner deregistered
+      // after the hand-off landed, or the departing holder found nobody
+      // active). Adopt it so the rotation never stalls. Every holder
+      // transition bumps the word's version through a CAS, so a stale
+      // observation — the parked slot re-registered and its new owner
+      // took the fast path above — loses here rather than minting a
+      // second token.
+      const std::uint64_t adopted = holder_word(word, slot_idx);
+      if (holder_.compare_exchange_strong(word, adopted,
+                                          std::memory_order_acq_rel)) {
+        on_token(slot_idx, adopted);
+      }
+    }
+    executor_->on_op_end(slot_idx);
+  }
+
+  void* protect_slot(int, int, LoadFn load, const void* src) override {
+    return load(src);  // epoch-class scheme: reads need no publication
+  }
+
+  void retire_slot(int slot_idx, void* p) override {
+    TokenSlot& s = slot(slot_idx);
+    retired_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.bag.push_back(p);
+    if (s.bag.size() >= cfg_.batch_size) seal(s);
+  }
+
+  void* alloc_node_slot(int slot_idx, std::size_t size) override {
+    return executor_->alloc_node(slot_idx, size);
+  }
+
+  void dealloc_unpublished_slot(int slot_idx, void* p) override {
+    ctx_.allocator->deallocate(slot_idx, p);
+  }
+
+  /// Departure: seal + drain what's already safe, park the rest for the
+  /// slot's successor, and hand the token onward if this slot holds it
+  /// (a racing adopter may win the CAS instead — either way it moves).
+  /// The hand-off is a transfer, not a quiesce: passes_ stays put.
+  void on_slot_deregister(int slot_idx) override {
+    TokenSlot& s = slot(slot_idx);
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      seal(s);
+    }
+    const std::uint64_t pass_now = passes_.load(std::memory_order_relaxed);
+    for (SealedBag& b : take_safe(s, pass_now, 0)) {
+      executor_->on_reclaimable(slot_idx, std::move(b.nodes));
+    }
+    std::uint64_t word = holder_.load(std::memory_order_acquire);
+    const int next = next_active(slot_idx);
+    if (holder_slot(word) == slot_idx && next != slot_idx) {
+      holder_.compare_exchange_strong(word, holder_word(word, next),
+                                      std::memory_order_acq_rel);
+    }
+  }
+
  private:
-  TokenSlot& slot(int tid) {
-    const std::size_t i = static_cast<std::size_t>(tid);
+  TokenSlot& slot(int slot_idx) {
+    const std::size_t i = static_cast<std::size_t>(slot_idx);
     return slots_[i < slots_.size() ? i : 0];
   }
 
@@ -119,20 +167,54 @@ class TokenReclaimer final : public Reclaimer {
     s.bag.reserve(cfg_.batch_size);
   }
 
-  /// A bag is safe once the token has fully rotated twice past its seal.
+  /// A bag is safe once 2 * slot_capacity passes have elapsed since its
+  /// seal: the ring visits every active slot at least twice in that
+  /// window (each pass goes to the next active slot in ring order), a
+  /// pass is a quiesce point, and threads registered after the seal are
+  /// fresh — they cannot reach a node that was already unlinked.
   bool safe(const SealedBag& b, std::uint64_t pass_now) const {
-    return b.pass + 2 * static_cast<std::uint64_t>(nthreads_) <= pass_now;
+    return b.pass + 2 * static_cast<std::uint64_t>(nlanes_) <= pass_now;
   }
 
-  void pass_token(int tid) {
+  /// Next registered slot after `from` in ring order; `from` itself when
+  /// no other slot is active (the token then parks until an adopter).
+  int next_active(int from) const {
+    for (int i = 1; i <= nlanes_; ++i) {
+      const int c = (from + i) % nlanes_;
+      if (slot_active(c)) return c;
+    }
+    return from;
+  }
+
+  // The holder word packs (version << 32) | slot; every transition —
+  // pass, adoption, departure hand-off — bumps the version through one
+  // CAS, so exactly one of any set of racing transfers wins and
+  // passes_ counts each genuine hand-off once. safe()'s grace bound
+  // rests on that count being honest.
+  static int holder_slot(std::uint64_t word) {
+    return static_cast<int>(word & 0xffffffffULL);
+  }
+  static std::uint64_t holder_word(std::uint64_t prev, int slot) {
+    const std::uint64_t version = (prev >> 32) + 1;
+    return (version << 32) | static_cast<std::uint64_t>(slot);
+  }
+
+  /// Hands the token to the next active slot. `word` is the holder
+  /// value this thread took the token under; a failed CAS means the
+  /// token was concurrently adopted away (stale observation) and this
+  /// thread must not count a pass.
+  void pass_token(int slot_idx, std::uint64_t word) {
+    if (!holder_.compare_exchange_strong(
+            word, holder_word(word, next_active(slot_idx)),
+            std::memory_order_acq_rel)) {
+      return;
+    }
     const std::uint64_t p =
         passes_.fetch_add(1, std::memory_order_acq_rel) + 1;
-    if (p % static_cast<std::uint64_t>(nthreads_) == 0) {
-      const std::uint64_t rotation =
-          p / static_cast<std::uint64_t>(nthreads_);
-      record_progress_beat(ctx_, tid, rotation, stats().pending);
+    if (p % static_cast<std::uint64_t>(nlanes_) == 0) {
+      const std::uint64_t rotation = p / static_cast<std::uint64_t>(nlanes_);
+      record_progress_beat(ctx_, slot_idx, rotation, stats().pending);
     }
-    holder_.store((tid + 1) % nthreads_, std::memory_order_release);
   }
 
   /// Pops up to `max_bags` safe bags from `s` (0 = all).
@@ -148,34 +230,38 @@ class TokenReclaimer final : public Reclaimer {
     return out;
   }
 
-  void on_token(int tid) {
+  /// Runs the holder's policy. Frees stay safe even under a stale
+  /// token observation (pass_token's CAS then simply fails): take_safe
+  /// admits only bags aged past the passes_-counted grace bound, which
+  /// never depends on who currently holds the token.
+  void on_token(int slot_idx, std::uint64_t word) {
     const std::uint64_t pass_now = passes_.load(std::memory_order_relaxed);
     switch (opt_.policy) {
       case TokenPolicy::kNaive:
         // Serialize: the holder reclaims for everyone, then passes.
         for (TokenSlot& s : slots_) {
           for (SealedBag& b : take_safe(s, pass_now, 0)) {
-            executor_->on_reclaimable(tid, std::move(b.nodes));
+            executor_->on_reclaimable(slot_idx, std::move(b.nodes));
           }
         }
-        pass_token(tid);
+        pass_token(slot_idx, word);
         break;
       case TokenPolicy::kPassFirst:
-        pass_token(tid);
-        for (SealedBag& b : take_safe(slot(tid), pass_now, 0)) {
-          executor_->on_reclaimable(tid, std::move(b.nodes));
+        pass_token(slot_idx, word);
+        for (SealedBag& b : take_safe(slot(slot_idx), pass_now, 0)) {
+          executor_->on_reclaimable(slot_idx, std::move(b.nodes));
         }
         break;
       case TokenPolicy::kPeriodic:
-        pass_token(tid);
-        for (SealedBag& b : take_safe(slot(tid), pass_now, 1)) {
-          executor_->on_reclaimable(tid, std::move(b.nodes));
+        pass_token(slot_idx, word);
+        for (SealedBag& b : take_safe(slot(slot_idx), pass_now, 1)) {
+          executor_->on_reclaimable(slot_idx, std::move(b.nodes));
         }
         break;
       case TokenPolicy::kHandOff:
-        pass_token(tid);
-        for (SealedBag& b : take_safe(slot(tid), pass_now, 0)) {
-          executor_->on_reclaimable(tid, std::move(b.nodes));
+        pass_token(slot_idx, word);
+        for (SealedBag& b : take_safe(slot(slot_idx), pass_now, 0)) {
+          executor_->on_reclaimable(slot_idx, std::move(b.nodes));
         }
         break;
     }
@@ -185,9 +271,11 @@ class TokenReclaimer final : public Reclaimer {
   SmrContext ctx_;
   SmrConfig cfg_;
   FreeExecutor* executor_;
-  int nthreads_;
+  int nlanes_;
   std::vector<TokenSlot> slots_;
-  std::atomic<int> holder_{0};
+  // (version << 32) | slot — see holder_word(). Starts at slot 0,
+  // version 0.
+  std::atomic<std::uint64_t> holder_{0};
   std::atomic<std::uint64_t> passes_{0};
   std::atomic<std::uint64_t> retired_{0};
 };

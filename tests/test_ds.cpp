@@ -29,6 +29,11 @@ struct DsWorld {
   smr::SmrConfig cfg;
   smr::ReclaimerBundle bundle;
   std::unique_ptr<ds::ConcurrentSet> set;
+  // Declared after `set`: handles release before the structure's
+  // destructor registers its own teardown handle. One handle per lane;
+  // single-threaded tests multiplex them, the concurrent stress hands
+  // each worker thread exactly one.
+  std::vector<smr::ThreadHandle> handles;
 
   DsWorld(const std::string& ds_name, const std::string& reclaimer,
           std::uint64_t keyrange = 512, int threads = 4,
@@ -42,11 +47,20 @@ struct DsWorld {
     dcfg.keyrange = keyrange;
     dcfg.num_threads = threads;
     set = ds::make_set(ds_name, dcfg, bundle.reclaimer.get());
+    for (int t = 0; t < threads; ++t) {
+      handles.push_back(bundle.reclaimer->register_thread());
+    }
   }
 
-  /// Tears the structure down and drains the reclaimer; afterwards the
-  /// tracking allocator must report zero live nodes.
+  smr::ThreadHandle& h(int t) {
+    return handles[static_cast<std::size_t>(t)];
+  }
+
+  /// Releases every handle, tears the structure down and drains the
+  /// reclaimer; afterwards the tracking allocator must report zero live
+  /// nodes.
   void teardown() {
+    handles.clear();
     set.reset();
     bundle.reclaimer->flush_all();
   }
@@ -73,19 +87,20 @@ TEST_P(DsModelTest, MatchesStdSetSingleThreaded) {
       const std::uint64_t key = rng.next_range(256);
       const std::uint64_t dice = rng.next_range(3);
       if (dice == 0) {
-        ASSERT_EQ(w.set->insert(0, key), model.insert(key).second)
+        ASSERT_EQ(w.set->insert(w.h(0), key), model.insert(key).second)
             << reclaimer << " op " << i;
       } else if (dice == 1) {
-        ASSERT_EQ(w.set->erase(0, key), model.erase(key) == 1)
+        ASSERT_EQ(w.set->erase(w.h(0), key), model.erase(key) == 1)
             << reclaimer << " op " << i;
       } else {
-        ASSERT_EQ(w.set->contains(0, key), model.count(key) == 1)
+        ASSERT_EQ(w.set->contains(w.h(0), key), model.count(key) == 1)
             << reclaimer << " op " << i;
       }
     }
     // Every model key is present, every non-key absent.
     for (std::uint64_t k = 0; k < 256; ++k) {
-      ASSERT_EQ(w.set->contains(0, k), model.count(k) == 1) << reclaimer;
+      ASSERT_EQ(w.set->contains(w.h(0), k), model.count(k) == 1)
+          << reclaimer;
     }
     w.teardown();
     EXPECT_EQ(w.allocator.live(), 0u) << reclaimer;
@@ -109,24 +124,26 @@ TEST(DsGuard, NoFreeWhileGuardProtects) {
     cfg.epoch_freq = 16;
     smr::ReclaimerBundle bundle = smr::make_reclaimer(name, ctx, cfg);
     smr::Reclaimer& r = *bundle.reclaimer;
+    smr::ThreadHandle h0 = r.register_thread();
+    smr::ThreadHandle h1 = r.register_thread();
 
-    void* x = r.alloc_node(0, 64);
+    void* x = r.alloc_node(h0, 64);
     std::atomic<void*> src{x};
     {
-      smr::Guard g(r, 0);
+      smr::Guard g(h0);
       EXPECT_EQ(g.protect(0, src), x) << name;
       EXPECT_TRUE(g.validate()) << name;
 
-      // Thread lane 1 unlinks + retires x, then churns hard enough to
-      // drive scans and era advances.
+      // Lane 1 unlinks + retires x, then churns hard enough to drive
+      // scans and era advances.
       src.store(nullptr, std::memory_order_release);
       {
-        smr::Guard g1(r, 1);
+        smr::Guard g1(h1);
         g1.retire(x);
       }
       for (int i = 0; i < 400; ++i) {
-        smr::Guard g1(r, 1);
-        g1.retire(r.alloc_node(1, 64));
+        smr::Guard g1(h1);
+        g1.retire(r.alloc_node(h1, 64));
       }
       EXPECT_EQ(allocator.freed_count(x), 0u)
           << name << ": node freed while a Guard protects it";
@@ -149,15 +166,17 @@ TEST(DsGuard, ValidateReportsNeutralization) {
   cfg.epoch_freq = 4;
   smr::ReclaimerBundle bundle = smr::make_reclaimer("nbr", ctx, cfg);
   smr::Reclaimer& r = *bundle.reclaimer;
+  smr::ThreadHandle h0 = r.register_thread();
+  smr::ThreadHandle h1 = r.register_thread();
 
   {
-    smr::Guard g(r, 0);
+    smr::Guard g(h0);
     EXPECT_TRUE(g.validate());
     // Churn on lane 1 until lane 0 is neutralized.
     bool neutralized = false;
     for (int i = 0; i < 2000 && !neutralized; ++i) {
-      smr::Guard g1(r, 1);
-      g1.retire(r.alloc_node(1, 64));
+      smr::Guard g1(h1);
+      g1.retire(r.alloc_node(h1, 64));
       neutralized = !g.validate();
     }
     EXPECT_TRUE(neutralized) << "churn never neutralized the reader";
@@ -185,19 +204,22 @@ TEST_P(DsConcurrentTest, GuardedTraversalsRaceReclamation) {
     constexpr std::uint64_t kKeyrange = 128;  // small: maximal collisions
     DsWorld w(GetParam(), reclaimer, kKeyrange, /*threads=*/4,
               /*batch=*/8);
-    for (std::uint64_t k = 0; k < kKeyrange; k += 2) w.set->insert(0, k);
+    for (std::uint64_t k = 0; k < kKeyrange; k += 2) {
+      w.set->insert(w.h(0), k);
+    }
 
     std::atomic<bool> stop{false};
     std::vector<std::thread> threads;
     for (int tid = 0; tid < 2; ++tid) {
       threads.emplace_back([&, tid] {  // writers
+        smr::ThreadHandle& h = w.h(tid);
         Rng rng(100 + tid);
         for (int i = 0; i < 4000; ++i) {
           const std::uint64_t key = rng.next_range(kKeyrange);
           if (rng.next_range(2) == 0) {
-            w.set->insert(tid, key);
+            w.set->insert(h, key);
           } else {
-            w.set->erase(tid, key);
+            w.set->erase(h, key);
           }
         }
         stop.store(true, std::memory_order_release);
@@ -205,10 +227,11 @@ TEST_P(DsConcurrentTest, GuardedTraversalsRaceReclamation) {
     }
     for (int tid = 2; tid < 4; ++tid) {
       threads.emplace_back([&, tid] {  // readers
+        smr::ThreadHandle& h = w.h(tid);
         Rng rng(200 + tid);
         std::uint64_t found = 0;
         while (!stop.load(std::memory_order_acquire)) {
-          found += w.set->contains(tid, rng.next_range(kKeyrange)) ? 1 : 0;
+          found += w.set->contains(h, rng.next_range(kKeyrange)) ? 1 : 0;
         }
         EXPECT_GE(found, 0u);  // keep `found` observable
       });
@@ -218,8 +241,8 @@ TEST_P(DsConcurrentTest, GuardedTraversalsRaceReclamation) {
     // Single-threaded again: the structure must still be a set.
     std::set<std::uint64_t> seen;
     for (std::uint64_t k = 0; k < kKeyrange; ++k) {
-      if (w.set->contains(0, k)) seen.insert(k);
-      EXPECT_EQ(w.set->insert(0, k), seen.count(k) == 0) << reclaimer;
+      if (w.set->contains(w.h(0), k)) seen.insert(k);
+      EXPECT_EQ(w.set->insert(w.h(0), k), seen.count(k) == 0) << reclaimer;
     }
     w.teardown();
     EXPECT_EQ(w.allocator.live(), 0u)
@@ -240,17 +263,17 @@ TEST(DsTeardown, EveryPairFreesEverything) {
       DsWorld w(ds_name, reclaimer, /*keyrange=*/128, /*threads=*/2);
       Rng rng(3);
       for (int i = 0; i < 400; ++i) {
-        const int tid = static_cast<int>(i & 1);
+        smr::ThreadHandle& h = w.h(i & 1);
         const std::uint64_t key = rng.next_range(128);
         switch (rng.next_range(3)) {
           case 0:
-            w.set->insert(tid, key);
+            w.set->insert(h, key);
             break;
           case 1:
-            w.set->erase(tid, key);
+            w.set->erase(h, key);
             break;
           default:
-            w.set->contains(tid, key);
+            w.set->contains(h, key);
             break;
         }
       }

@@ -19,6 +19,9 @@ struct World {
   smr::SmrContext ctx;
   smr::SmrConfig cfg;
   smr::ReclaimerBundle bundle;
+  // One registered handle per logical lane; the single-threaded tests
+  // multiplex them (legal: one thread at a time per handle).
+  std::vector<smr::ThreadHandle> handles;
 
   explicit World(const std::string& name, std::size_t batch = 8,
                  std::size_t drain = 1, int threads = 2) {
@@ -27,24 +30,30 @@ struct World {
     cfg.batch_size = batch;
     cfg.af_drain_per_op = drain;
     bundle = smr::make_reclaimer(name, ctx, cfg);
+    for (int t = 0; t < threads; ++t) {
+      handles.push_back(r().register_thread());
+    }
   }
 
   smr::Reclaimer& r() { return *bundle.reclaimer; }
+  smr::ThreadHandle& h(int t) {
+    return handles[static_cast<std::size_t>(t)];
+  }
 
-  /// One no-op operation on each thread: lets epochs advance and the AF
+  /// One no-op operation on each handle: lets epochs advance and the AF
   /// executor drain.
   void tick() {
     for (int t = 0; t < cfg.num_threads; ++t) {
-      r().begin_op(t);
-      r().end_op(t);
+      r().begin_op(h(t));
+      r().end_op(h(t));
     }
   }
 
   void retire_nodes(int tid, int n, std::size_t size = 64) {
     for (int i = 0; i < n; ++i) {
-      r().begin_op(tid);
-      r().retire(tid, r().alloc_node(tid, size));
-      r().end_op(tid);
+      r().begin_op(h(tid));
+      r().retire(h(tid), r().alloc_node(h(tid), size));
+      r().end_op(h(tid));
     }
   }
 };
@@ -110,8 +119,8 @@ TEST(SmrAmortized, DrainRateBoundsFreesPerOp) {
   for (int i = 0; i < 64; ++i) w.tick();  // bag reaches the freeable list
 
   const std::uint64_t before = w.r().stats().freed;
-  w.r().begin_op(0);
-  w.r().end_op(0);
+  w.r().begin_op(w.h(0));
+  w.r().end_op(w.h(0));
   const std::uint64_t after = w.r().stats().freed;
   EXPECT_LE(after - before, kDrain);
 }
@@ -127,8 +136,8 @@ TEST(SmrAmortized, BacklogDrainsWithBoundedLag) {
   for (int i = 0; i < 16; ++i) w.tick();
   // Lag bound: batch/drain ops on the owning thread drain everything.
   for (std::size_t i = 0; i < kBatch / kDrain + 1; ++i) {
-    w.r().begin_op(0);
-    w.r().end_op(0);
+    w.r().begin_op(w.h(0));
+    w.r().end_op(w.h(0));
   }
   EXPECT_EQ(w.r().stats().freed, kBatch);
   EXPECT_EQ(w.r().executor().backlog(), 0u);
@@ -144,10 +153,10 @@ TEST(SmrPooling, PoolRecyclesRetiredNodes) {
   ASSERT_NE(pool, nullptr);
   const std::uint64_t allocs_before = w.allocator.allocs();
   for (int i = 0; i < 16; ++i) {
-    w.r().begin_op(0);
-    void* p = w.r().alloc_node(0, 64);
-    w.r().retire(0, p);
-    w.r().end_op(0);
+    w.r().begin_op(w.h(0));
+    void* p = w.r().alloc_node(w.h(0), 64);
+    w.r().retire(w.h(0), p);
+    w.r().end_op(w.h(0));
   }
   EXPECT_GT(pool->total_pooled_allocs(), 0u);
   EXPECT_LT(w.allocator.allocs() - allocs_before, 16u);
@@ -173,19 +182,19 @@ TEST(SmrTokens, TokenVariantsAccountExactly) {
 TEST(SmrProtect, ProtectReturnsTheLoadedPointer) {
   for (const char* name : {"debra", "hp", "ibr", "token"}) {
     World w(name);
-    void* node = w.r().alloc_node(0, 64);
+    void* node = w.r().alloc_node(w.h(0), 64);
     std::atomic<void*> src{node};
-    w.r().begin_op(0);
+    w.r().begin_op(w.h(0));
     void* p = w.r().protect(
-        0, 0,
+        w.h(0), 0,
         [](const void* s) {
           return static_cast<const std::atomic<void*>*>(s)->load(
               std::memory_order_acquire);
         },
         &src);
-    w.r().end_op(0);
+    w.r().end_op(w.h(0));
     EXPECT_EQ(p, node) << name;
-    w.r().dealloc_unpublished(0, node);
+    w.r().dealloc_unpublished(w.h(0), node);
     EXPECT_EQ(w.allocator.live(), 0u) << name;
   }
 }

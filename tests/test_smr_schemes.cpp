@@ -29,6 +29,7 @@ struct SchemeWorld {
   smr::SmrContext ctx;
   smr::SmrConfig cfg;
   smr::ReclaimerBundle bundle;
+  std::vector<smr::ThreadHandle> handles;
 
   explicit SchemeWorld(const std::string& name, std::size_t batch = 8,
                        int threads = 2) {
@@ -38,9 +39,15 @@ struct SchemeWorld {
     cfg.af_drain_per_op = 4;
     cfg.epoch_freq = 16;  // advance the era clock within small tests
     bundle = smr::make_reclaimer(name, ctx, cfg);
+    for (int t = 0; t < threads; ++t) {
+      handles.push_back(r().register_thread());
+    }
   }
 
   smr::Reclaimer& r() { return *bundle.reclaimer; }
+  smr::ThreadHandle& h(int t) {
+    return handles[static_cast<std::size_t>(t)];
+  }
 };
 
 class SmrSchemeTest : public ::testing::TestWithParam<std::string> {};
@@ -65,27 +72,27 @@ TEST_P(SmrSchemeTest, NoFreeWhileProtectedAndAllFreedAtTeardown) {
   const std::string name = GetParam();
   SchemeWorld w(name);
 
-  void* x = w.r().alloc_node(0, 64);
+  void* x = w.r().alloc_node(w.h(0), 64);
   std::atomic<void*> src{x};
-  w.r().begin_op(0);
-  ASSERT_EQ(w.r().protect(0, 0, load_ptr, &src), x) << name;
+  w.r().begin_op(w.h(0));
+  ASSERT_EQ(w.r().protect(w.h(0), 0, load_ptr, &src), x) << name;
 
-  // Thread 1 "unlinks" x and retires it, then churns.
-  w.r().begin_op(1);
-  w.r().retire(1, x);
-  w.r().end_op(1);
+  // Lane 1 "unlinks" x and retires it, then churns.
+  w.r().begin_op(w.h(1));
+  w.r().retire(w.h(1), x);
+  w.r().end_op(w.h(1));
   for (int i = 0; i < 400; ++i) {
-    w.r().begin_op(1);
-    void* p = w.r().alloc_node(1, 64);
+    w.r().begin_op(w.h(1));
+    void* p = w.r().alloc_node(w.h(1), 64);
     EXPECT_NE(p, x) << name << ": protected node served out of the pool";
-    w.r().retire(1, p);
-    w.r().end_op(1);
+    w.r().retire(w.h(1), p);
+    w.r().end_op(w.h(1));
   }
 
   EXPECT_EQ(w.allocator.freed_count(x), 0u)
       << name << ": node freed while a reader still protects it";
 
-  w.r().end_op(0);
+  w.r().end_op(w.h(0));
   w.r().flush_all();
   const smr::SmrStats st = w.r().stats();
   EXPECT_EQ(st.retired, 401u) << name;
@@ -101,18 +108,18 @@ TEST_P(SmrSchemeTest, MultiSlotTraversalAccountsExactly) {
   SchemeWorld w(name);
 
   for (int round = 0; round < 8; ++round) {
-    w.r().begin_op(0);
+    w.r().begin_op(w.h(0));
     std::vector<void*> nodes;
     for (int i = 0; i < 12; ++i) {
-      void* p = w.r().alloc_node(0, 64);
+      void* p = w.r().alloc_node(w.h(0), 64);
       std::atomic<void*> src{p};
-      EXPECT_EQ(w.r().protect(0, i, load_ptr, &src), p) << name;
+      EXPECT_EQ(w.r().protect(w.h(0), i, load_ptr, &src), p) << name;
       nodes.push_back(p);
     }
-    w.r().end_op(0);
-    w.r().begin_op(1);
-    for (void* p : nodes) w.r().retire(1, p);
-    w.r().end_op(1);
+    w.r().end_op(w.h(0));
+    w.r().begin_op(w.h(1));
+    for (void* p : nodes) w.r().retire(w.h(1), p);
+    w.r().end_op(w.h(1));
   }
   w.r().flush_all();
   const smr::SmrStats st = w.r().stats();
@@ -166,23 +173,25 @@ TEST(SmrFamilies, FixedTokenVariantsTakeNoSuffix) {
 // hazarded node reaches the allocator immediately, with no epoch grace.
 TEST(SmrHp, ScanFreesUnprotectedImmediately) {
   SchemeWorld w("hp", /*batch=*/8);
-  void* x = w.r().alloc_node(0, 64);
+  void* x = w.r().alloc_node(w.h(0), 64);
   std::atomic<void*> src{x};
-  w.r().begin_op(0);
-  w.r().protect(0, 0, load_ptr, &src);
+  w.r().begin_op(w.h(0));
+  w.r().protect(w.h(0), 0, load_ptr, &src);
 
-  w.r().begin_op(1);
-  w.r().retire(1, x);
+  w.r().begin_op(w.h(1));
+  w.r().retire(w.h(1), x);
   // Push past the scan threshold (batch floored at N*K+1 hazards).
-  for (int i = 0; i < 64; ++i) w.r().retire(1, w.r().alloc_node(1, 64));
-  w.r().end_op(1);
+  for (int i = 0; i < 96; ++i) {
+    w.r().retire(w.h(1), w.r().alloc_node(w.h(1), 64));
+  }
+  w.r().end_op(w.h(1));
 
   const smr::SmrStats st = w.r().stats();
   EXPECT_GT(st.freed, 0u) << "scan should free unprotected retires";
   EXPECT_EQ(w.allocator.freed_count(x), 0u);
   EXPECT_GE(st.epochs_advanced, 1u);  // counts scans for hp
 
-  w.r().end_op(0);
+  w.r().end_op(w.h(0));
   w.r().flush_all();
   EXPECT_EQ(w.allocator.live(), 0u);
 }
@@ -194,9 +203,9 @@ TEST(SmrEra, UnreservedIntervalsReclaimWithoutReaders) {
   for (const char* name : {"he", "ibr", "wfe"}) {
     SchemeWorld w(name, /*batch=*/16);
     for (int i = 0; i < 96; ++i) {
-      w.r().begin_op(0);
-      w.r().retire(0, w.r().alloc_node(0, 64));
-      w.r().end_op(0);
+      w.r().begin_op(w.h(0));
+      w.r().retire(w.h(0), w.r().alloc_node(w.h(0), 64));
+      w.r().end_op(w.h(0));
     }
     EXPECT_GT(w.r().stats().freed, 0u) << name;
     w.r().flush_all();
@@ -214,22 +223,22 @@ TEST(SmrEra, UnreservedIntervalsReclaimWithoutReaders) {
 TEST(SmrNbr, NeutralizedReaderRestartsAndUnblocksReclamation) {
   for (const char* name : {"nbr", "nbrplus"}) {
     SchemeWorld w(name, /*batch=*/8);
-    void* x = w.r().alloc_node(0, 64);
+    void* x = w.r().alloc_node(w.h(0), 64);
     std::atomic<void*> src{x};
 
-    w.r().begin_op(0);
-    w.r().protect(0, 0, load_ptr, &src);
+    w.r().begin_op(w.h(0));
+    w.r().protect(w.h(0), 0, load_ptr, &src);
 
-    // Churn: retires + era advances set thread 0's neutralize flag, but
+    // Churn: retires + era advances set lane 0's neutralize flag, but
     // until the reader polls validate() the old announcement stands.
-    w.r().begin_op(1);
-    w.r().retire(1, x);
-    w.r().end_op(1);
+    w.r().begin_op(w.h(1));
+    w.r().retire(w.h(1), x);
+    w.r().end_op(w.h(1));
     auto churn = [&w](int ops) {
       for (int i = 0; i < ops; ++i) {
-        w.r().begin_op(1);
-        w.r().retire(1, w.r().alloc_node(1, 64));
-        w.r().end_op(1);
+        w.r().begin_op(w.h(1));
+        w.r().retire(w.h(1), w.r().alloc_node(w.h(1), 64));
+        w.r().end_op(w.h(1));
       }
     };
     churn(200);
@@ -239,9 +248,9 @@ TEST(SmrNbr, NeutralizedReaderRestartsAndUnblocksReclamation) {
     // The reader polls: validate() reports the neutralization, restarts
     // the read block, and x's retire era falls out of every active
     // announcement on the next churn round.
-    EXPECT_FALSE(w.r().validate(0))
+    EXPECT_FALSE(w.r().validate(w.h(0)))
         << name << ": churn should have neutralized the reader";
-    EXPECT_TRUE(w.r().validate(0))
+    EXPECT_TRUE(w.r().validate(w.h(0)))
         << name << ": a restarted block validates cleanly again";
     churn(200);
     // freed_count, not is_live: the allocator may have recycled x's
@@ -249,7 +258,7 @@ TEST(SmrNbr, NeutralizedReaderRestartsAndUnblocksReclamation) {
     EXPECT_GE(w.allocator.freed_count(x), 1u)
         << name << ": restarted reader should unblock reclamation";
 
-    w.r().end_op(0);
+    w.r().end_op(w.h(0));
     w.r().flush_all();
     EXPECT_EQ(w.r().stats().pending, 0u) << name;
     EXPECT_EQ(w.allocator.live(), 0u) << name;

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -104,6 +106,50 @@ TEST(TrialTest, InvalidConfigsFailFastWithValidNames) {
   cfg = tiny_config();
   cfg.allocator = "hoard";
   expect_throw_listing(cfg, "je");
+
+  // Churn knobs fail fast naming the valid ranges.
+  cfg = tiny_config();
+  cfg.churn_interval_ms = -5;
+  try {
+    harness::Trial trial(cfg);
+    FAIL() << "negative churn_interval_ms must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(">= 0"), std::string::npos)
+        << "error should name the valid range, got: " << e.what();
+  }
+
+  cfg = tiny_config();
+  cfg.nthreads = 1;
+  cfg.churn_interval_ms = 5;
+  try {
+    harness::Trial trial(cfg);
+    FAIL() << "churn with one thread must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("nthreads >= 2"),
+              std::string::npos)
+        << "error should name the valid range, got: " << e.what();
+  }
+}
+
+// The churn mode the ThreadHandle API unlocks: workers deregister and
+// are replaced mid-trial, and afterwards nothing is leaked or pinned —
+// every retired node still reaches the executor at teardown.
+TEST(TrialTest, ChurnedTrialReplacesWorkersAndAccountsExactly) {
+  for (const char* reclaimer : {"debra", "token_af", "hp", "ibr"}) {
+    TrialConfig cfg = tiny_config();
+    cfg.reclaimer = reclaimer;
+    cfg.nthreads = 3;
+    cfg.measure_ms = 60;
+    cfg.churn_interval_ms = 10;
+    harness::Trial trial(cfg);
+    const harness::TrialResult r = trial.run();
+    EXPECT_GT(r.ops, 0u) << reclaimer;
+    EXPECT_GT(r.threads_churned, 0u) << reclaimer;
+    EXPECT_EQ(trial.reclaimer().stats().pending, 0u) << reclaimer;
+    EXPECT_EQ(trial.reclaimer().executor().backlog(), 0u) << reclaimer;
+    // All worker handles deregistered at trial end.
+    EXPECT_EQ(trial.reclaimer().active_slots(), 0u) << reclaimer;
+  }
 }
 
 TEST(TrialTest, RunsAndAccountsForEveryRetiredNode) {
@@ -182,6 +228,30 @@ TEST(ReportTest, TableAlignsAndWritesCsv) {
   ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
   EXPECT_STREQ(line, "a,b\n");
   std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, EmitJsonTypesNumbersAndEscapesStrings) {
+  harness::Table table({"threads", "reclaimer", "Mops/s"});
+  table.add_row({"4", "debra_af", "3.25"});
+  table.add_row({"8", "token \"naive\"", "0.50"});
+  std::ostringstream os;
+  harness::emit_json(os, table);
+  const std::string json = os.str();
+  // Numeric cells are unquoted, string cells escaped.
+  EXPECT_NE(json.find("\"threads\": 4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"Mops/s\": 3.25"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"reclaimer\": \"debra_af\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("token \\\"naive\\\""), std::string::npos) << json;
+
+  const std::string path = harness::out_dir() + "test_table.json";
+  ASSERT_TRUE(table.write_json(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), json);
   std::remove(path.c_str());
 }
 

@@ -21,7 +21,7 @@ class TrackingAllocator final : public alloc::Allocator {
  public:
   TrackingAllocator() {
     alloc::AllocConfig cfg;
-    cfg.max_threads = 8;
+    cfg.max_threads = 32;  // covers every suite's slot capacity
     inner_ = alloc::make_allocator("system", cfg);
   }
 
