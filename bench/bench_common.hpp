@@ -7,6 +7,15 @@
 //   EMR_TRIALS   - trials per data point (paper: 3)
 //   EMR_KEYRANGE - key range (paper: 2e7 for ABtree, 2e6 for DGT)
 //   EMR_BATCH    - retire batch size / scan threshold (Experiment 2: 32768)
+//   EMR_SCHEDULE - free-schedule policy override for any reclaimer
+//                  name: fixed | adaptive (default: follow the name's
+//                  suffix; see docs/FREE_SCHEDULES.md)
+//   EMR_DRAIN_MIN / EMR_DRAIN_MAX - clamp on the adaptive schedule's
+//                  per-op drain quantum
+//   EMR_POOL_CAP - pooling inventory cap per lane (default: 4 batches,
+//                  floored at 1024; non-positive values are rejected)
+//   EMR_EXTRA_SLOTS - registration slots beyond the worker count
+//                  (churn/teardown headroom; must be >= 1)
 //   EMR_HP_SLOTS - protection slots per thread (hp/he/wfe)
 //   EMR_EPOCH_FREQ - era-clock advance rate (he/ibr/wfe/nbr)
 //   EMR_ALLOC    - je | tc | mi | system
@@ -15,7 +24,7 @@
 //                  fresh thread registers every this-many ms (0 = off)
 //   EMR_OUT      - artifact directory for CSV/timeline dumps
 //
-// Binaries that parse argv (currently bench_ablation_churn) also
+// Binaries that parse argv (bench_ablation_churn, bench_ablation_adaptive)
 // accept `--json <path>` (or EMR_JSON): the result table is mirrored
 // as a JSON array via harness::emit_json, the format the BENCH_*.json
 // perf trajectories ingest. The helpers below are the two lines a

@@ -25,6 +25,23 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 # churn, pending == 0 and an empty executor backlog after teardown.
 "$BUILD_DIR/bench_ablation_churn" --smoke
 
+# Free-schedule smoke: every Experiment-2 reclaimer in batch, _af and
+# _adaptive form runs under churn and accounts exactly; aggregated over
+# the set, the adaptive schedule's peak garbage stays within 2x of _af
+# while the fixed batch schedule remains the worst case.
+"$BUILD_DIR/bench_ablation_adaptive" --smoke
+
+# Policy-layer invariant: executors and scheme TUs ask the FreeSchedule
+# for every batching quantum; only smr/free_schedule.cpp may read the
+# raw SmrConfig batching knobs.
+if grep -nE 'cfg_?\.\s*(batch_size|af_drain_per_op)' \
+    smr/free_executor.cpp smr/pooling_executor.hpp smr/ebr.cpp \
+    smr/token.cpp smr/hp.cpp smr/he_ibr_wfe.cpp smr/nbr.cpp; then
+  echo "ci/check.sh: executor/scheme TU reads a raw batching knob —" \
+       "route it through FreeSchedule (smr/free_schedule.cpp)" >&2
+  exit 1
+fi
+
 # End-to-end: the Figure 1 sweep must produce a non-empty table + CSV.
 export EMR_MS="${EMR_MS:-30}" EMR_THREADS="${EMR_THREADS:-1 2}" \
        EMR_TRIALS=1 EMR_KEYRANGE="${EMR_KEYRANGE:-4096}" \
@@ -42,8 +59,12 @@ cmake --build "$TSAN_DIR" -j"$JOBS"
 if [ -x "$TSAN_DIR/test_ds" ]; then
   "$TSAN_DIR/test_ds" --gtest_filter='*Concurrent*'
   # ThreadHandle churn stress: register/deregister racing guarded
-  # traversals over every reclaimer family.
+  # traversals over every reclaimer family (including the _adaptive
+  # executors, whose lane-stats counters feed the controller).
   "$TSAN_DIR/test_handle_lifecycle" --gtest_filter='*ChurnStress*'
+  # Adaptive-executor lane-stats counters: a stats_with_lanes reader
+  # races registration churn and retire-heavy lanes.
+  "$TSAN_DIR/test_free_schedule" --gtest_filter='*Concurrent*'
 else
   # Without GTest the unit suites (and this race check) don't build;
   # mirror the main build's degrade-with-a-warning behaviour.

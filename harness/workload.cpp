@@ -43,6 +43,52 @@ void apply_env_overrides(TrialConfig& cfg) {
     cfg.smr.af_drain_per_op = static_cast<std::size_t>(std::max<std::uint64_t>(
         env_u64("EMR_AF_DRAIN", cfg.smr.af_drain_per_op), 1));
   }
+  if (env_has("EMR_SCHEDULE")) {
+    // Validity ("fixed" | "adaptive") is enforced by make_free_schedule
+    // when the reclaimer is built, so a typo fails loudly with the
+    // valid choices instead of silently running the wrong policy.
+    cfg.smr.schedule = env_str("EMR_SCHEDULE", cfg.smr.schedule);
+  }
+  if (env_has("EMR_DRAIN_MIN")) {
+    const long long v = env_i64("EMR_DRAIN_MIN", -1);
+    if (v < 1) {
+      throw std::invalid_argument(
+          "invalid EMR_DRAIN_MIN: '" + env_str("EMR_DRAIN_MIN", "") +
+          "' (must be >= 1: the adaptive drain quantum's floor)");
+    }
+    cfg.smr.drain_min = static_cast<std::size_t>(v);
+  }
+  if (env_has("EMR_DRAIN_MAX")) {
+    const long long v = env_i64("EMR_DRAIN_MAX", -1);
+    if (v < 1) {
+      throw std::invalid_argument(
+          "invalid EMR_DRAIN_MAX: '" + env_str("EMR_DRAIN_MAX", "") +
+          "' (must be >= 1: the adaptive drain quantum's ceiling)");
+    }
+    // drain_max < drain_min fails in make_free_schedule naming both
+    // knobs.
+    cfg.smr.drain_max = static_cast<std::size_t>(v);
+  }
+  if (env_has("EMR_POOL_CAP")) {
+    const long long v = env_i64("EMR_POOL_CAP", -1);
+    if (v <= 0) {
+      throw std::invalid_argument(
+          "invalid EMR_POOL_CAP: '" + env_str("EMR_POOL_CAP", "") +
+          "' (must be a positive node count; unset it for the automatic "
+          "cap of four batches)");
+    }
+    cfg.smr.pool_cap = static_cast<std::size_t>(v);
+  }
+  if (env_has("EMR_EXTRA_SLOTS")) {
+    const long long v = env_i64("EMR_EXTRA_SLOTS", -1);
+    if (v < 1) {
+      throw std::invalid_argument(
+          "invalid EMR_EXTRA_SLOTS: '" + env_str("EMR_EXTRA_SLOTS", "") +
+          "' (must be >= 1: the registration table needs headroom for "
+          "churn overlap and the teardown handle)");
+    }
+    cfg.smr.extra_slots = static_cast<std::size_t>(v);
+  }
   if (env_has("EMR_HP_SLOTS")) {
     cfg.smr.hp_slots = static_cast<std::size_t>(std::max<std::uint64_t>(
         env_u64("EMR_HP_SLOTS", cfg.smr.hp_slots), 1));
@@ -301,6 +347,36 @@ TrialResult Trial::run() {
   timeline_.reset(lanes, t0, cfg_.timeline_min_duration_ns,
                   cfg_.enable_timeline);
   garbage_.reset(cfg_.enable_garbage);
+
+  // Free-schedule sampler: a backlog / drain-quantum / population
+  // timeline across the measured window. Lane counters are atomics and
+  // drain_quota is a read-only policy query, so sampling races nothing.
+  std::vector<ScheduleSample> schedule_trace;
+  std::thread sampler;
+  if (cfg_.enable_schedule_trace) {
+    const int sample_ms = std::max(cfg_.schedule_sample_ms, 1);
+    sampler = std::thread([&, sample_ms] {
+      smr::FreeExecutor& ex = bundle_.reclaimer->executor();
+      const smr::FreeSchedule& sched = *bundle_.schedule;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::uint64_t total = 0;
+        smr::LaneStats busiest;
+        for (std::size_t i = 0; i < ex.lane_count(); ++i) {
+          const smr::LaneStats ls = ex.lane_stats(static_cast<int>(i));
+          total += ls.backlog;
+          if (ls.backlog >= busiest.backlog) busiest = ls;
+        }
+        ScheduleSample s;
+        s.t_ms = (now_ns() - t0) / 1'000'000;
+        s.backlog = total;
+        s.drain_quota = sched.drain_quota(busiest);
+        s.population = bundle_.reclaimer->active_slots();
+        schedule_trace.push_back(s);
+        std::this_thread::sleep_for(std::chrono::milliseconds(sample_ms));
+      }
+    });
+  }
+
   go.store(true, std::memory_order_release);
 
   std::uint64_t churned = 0;
@@ -338,6 +414,7 @@ TrialResult Trial::run() {
   stop.store(true, std::memory_order_relaxed);
   const std::uint64_t t1 = now_ns();
   for (std::thread& w : workers) w.join();
+  if (sampler.joinable()) sampler.join();
 
   const alloc::AllocStats alloc_after = allocator_->stats();
   const smr::SmrStats smr_after = bundle_.reclaimer->stats();
@@ -354,6 +431,11 @@ TrialResult Trial::run() {
         std::memory_order_relaxed);
   }
   r.threads_churned = churned;
+  for (const ScheduleSample& s : schedule_trace) {
+    r.peak_backlog = std::max(r.peak_backlog, s.backlog);
+    r.max_drain_quota = std::max(r.max_drain_quota, s.drain_quota);
+  }
+  r.schedule_trace = std::move(schedule_trace);
   r.wall_ns = std::max<std::uint64_t>(t1 - t0, 1);
   r.mops = static_cast<double>(r.ops) * 1e3 / static_cast<double>(r.wall_ns);
   r.peak_bytes_mapped = alloc_after.peak_bytes_mapped;

@@ -42,6 +42,12 @@ struct TrialConfig {
   int churn_interval_ms = 0;
   bool enable_timeline = false;
   bool enable_garbage = false;
+  /// Sample the free-schedule controller during the measured window: a
+  /// background sampler records executor backlog, the current drain
+  /// quantum of the most-loaded lane, and the registered population
+  /// every schedule_sample_ms, into TrialResult::schedule_trace.
+  bool enable_schedule_trace = false;
+  int schedule_sample_ms = 2;
   std::uint64_t timeline_min_duration_ns = 10'000;
   smr::SmrConfig smr;
   alloc::AllocConfig alloc;
@@ -95,6 +101,14 @@ class OpStream {
   std::uint64_t keyrange_;
 };
 
+/// One point of the free-schedule timeline (enable_schedule_trace).
+struct ScheduleSample {
+  std::uint64_t t_ms = 0;        // since the measured window opened
+  std::uint64_t backlog = 0;     // executor-held nodes across all lanes
+  std::uint64_t drain_quota = 0; // current quantum of the busiest lane
+  std::uint64_t population = 0;  // registered ThreadHandles
+};
+
 struct TrialResult {
   std::uint64_t ops = 0;
   std::uint64_t wall_ns = 0;
@@ -113,6 +127,11 @@ struct TrialResult {
   /// Churn mode: how many workers deregistered and were replaced by a
   /// freshly registered thread inside the measured window.
   std::uint64_t threads_churned = 0;
+  /// Free-schedule timeline (empty unless enable_schedule_trace), plus
+  /// its peaks for table rows.
+  std::vector<ScheduleSample> schedule_trace;
+  std::uint64_t peak_backlog = 0;
+  std::uint64_t max_drain_quota = 0;
 };
 
 struct AggregateResult {
@@ -142,6 +161,7 @@ class Trial {
   Timeline& timeline() { return timeline_; }
   GarbageCensus& garbage() { return garbage_; }
   smr::Reclaimer& reclaimer() { return *bundle_.reclaimer; }
+  smr::FreeSchedule& schedule() { return *bundle_.schedule; }
   alloc::Allocator& allocator() { return *allocator_; }
   ds::ConcurrentSet& set() { return *set_; }
   const TrialConfig& config() const { return cfg_; }

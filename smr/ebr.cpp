@@ -9,7 +9,15 @@
 // the epoch again), seals its bag and drains whatever grace already
 // allows; sealed bags that are still too young stay parked in the slot,
 // stamped with their seal epoch, and the slot's next owner adopts them
-// on registration (flush_all drains vacant slots at teardown).
+// on registration (flush_all drains vacant slots at teardown). Every bag
+// a departing thread leaves behind is marked adopted: when grace later
+// admits it, it goes through the executor's on_adopted() path and drains
+// at the FreeSchedule quota over the successor's next ops instead of in
+// one free burst.
+//
+// Batching policy: the bag-seal threshold comes from the FreeSchedule
+// (fixed = the configured batch, adaptive = prorated by the registered
+// population); this TU never reads the config's batching knobs.
 #include <algorithm>
 #include <atomic>
 #include <deque>
@@ -25,6 +33,7 @@ constexpr std::uint64_t kAdvanceEveryOps = 16;
 
 struct SealedBag {
   std::uint64_t epoch = 0;
+  bool adopted = false;  // left behind by a departed generation
   std::vector<void*> nodes;
 };
 
@@ -43,9 +52,11 @@ class EbrReclaimer final : public Reclaimer {
       : Reclaimer(cfg),
         opt_(opt),
         ctx_(ctx),
-        cfg_(cfg),
         executor_(executor),
-        slots_(cfg.slot_capacity()) {}
+        slots_(cfg.slot_capacity()) {
+    seal_threshold_.store(compute_seal_threshold(),
+                          std::memory_order_relaxed);
+  }
 
   ~EbrReclaimer() override { flush_all(); }
 
@@ -105,7 +116,7 @@ class EbrReclaimer final : public Reclaimer {
     EbrSlot& s = slot(slot_idx);
     retired_.fetch_add(1, std::memory_order_relaxed);
     s.bag.push_back(p);
-    if (s.bag.size() >= cfg_.batch_size) {
+    if (s.bag.size() >= seal_threshold()) {
       seal(s);
       try_advance(slot_idx);
     }
@@ -125,12 +136,20 @@ class EbrReclaimer final : public Reclaimer {
     if (!opt_.leak) collect_safe(slot_idx, slot(slot_idx));
   }
 
+  void on_population_change(std::size_t) override {
+    seal_threshold_.store(compute_seal_threshold(),
+                          std::memory_order_relaxed);
+  }
+
   /// Departure: the announcement drops (a vacated slot can never hold
-  /// an epoch back), the open bag is sealed, and aged bags drain now.
+  /// an epoch back), the open bag is sealed, and every parked bag is
+  /// marked adopted — whenever grace admits it, it drains at the
+  /// schedule's quota over the successor's ops, never in one burst.
   void on_slot_deregister(int slot_idx) override {
     EbrSlot& s = slot(slot_idx);
     s.announce.store(0, std::memory_order_release);
     seal(s);
+    for (SealedBag& b : s.sealed) b.adopted = true;
     if (!opt_.leak) {
       try_advance(slot_idx);
       collect_safe(slot_idx, s);
@@ -143,20 +162,36 @@ class EbrReclaimer final : public Reclaimer {
     return slots_[i < slots_.size() ? i : 0];
   }
 
-  void seal(EbrSlot& s) {
-    if (s.bag.empty()) return;
-    s.sealed.push_back(
-        SealedBag{epoch_.load(std::memory_order_relaxed), std::move(s.bag)});
-    s.bag = {};
-    s.bag.reserve(cfg_.batch_size);
+  /// Bag size that seals the open bag. The policy answer only moves on
+  /// population beats, so it is cached out of the per-retire path and
+  /// refreshed by on_population_change (the adaptive schedule's only
+  /// input besides the config is the registered population).
+  std::size_t seal_threshold() const {
+    return seal_threshold_.load(std::memory_order_relaxed);
   }
 
-  /// Hands every bag two epochs behind the global epoch to the executor.
+  std::size_t compute_seal_threshold() const {
+    return std::max<std::size_t>(
+        executor_->schedule().scan_threshold(active_slots()), 1);
+  }
+
+  void seal(EbrSlot& s) {
+    if (s.bag.empty()) return;
+    const std::size_t sealed_size = s.bag.size();
+    s.sealed.push_back(SealedBag{epoch_.load(std::memory_order_relaxed),
+                                 /*adopted=*/false, std::move(s.bag)});
+    s.bag = {};
+    s.bag.reserve(sealed_size);
+  }
+
+  /// Hands every bag two epochs behind the global epoch to the executor
+  /// (adopted bags through the amortizing adoption path).
   void collect_safe(int slot_idx, EbrSlot& s) {
     if (s.sealed.empty()) return;
     const std::uint64_t e = epoch_.load(std::memory_order_acquire);
     while (!s.sealed.empty() && s.sealed.front().epoch + 2 <= e) {
-      executor_->on_reclaimable(slot_idx, std::move(s.sealed.front().nodes));
+      executor_->hand_over(slot_idx, s.sealed.front().adopted,
+                           std::move(s.sealed.front().nodes));
       s.sealed.pop_front();
     }
   }
@@ -177,9 +212,9 @@ class EbrReclaimer final : public Reclaimer {
 
   EbrOptions opt_;
   SmrContext ctx_;
-  SmrConfig cfg_;
   FreeExecutor* executor_;
   std::vector<EbrSlot> slots_;
+  std::atomic<std::size_t> seal_threshold_{1};
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<std::uint64_t> retired_{0};
   std::atomic<std::uint64_t> epochs_advanced_{0};

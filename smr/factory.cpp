@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "smr/free_schedule.hpp"
 #include "smr/internal.hpp"
 #include "smr/pooling_executor.hpp"
 
@@ -18,14 +19,15 @@ enum class ExecKind { kBatch, kAmortized, kPooling };
 
 std::unique_ptr<FreeExecutor> make_executor(ExecKind kind,
                                             const SmrContext& ctx,
-                                            const SmrConfig& cfg) {
+                                            const SmrConfig& cfg,
+                                            FreeSchedule* schedule) {
   switch (kind) {
     case ExecKind::kBatch:
-      return std::make_unique<BatchFreeExecutor>(ctx, cfg);
+      return std::make_unique<BatchFreeExecutor>(ctx, cfg, schedule);
     case ExecKind::kAmortized:
-      return std::make_unique<AmortizedFreeExecutor>(ctx, cfg);
+      return std::make_unique<AmortizedFreeExecutor>(ctx, cfg, schedule);
     case ExecKind::kPooling:
-      return std::make_unique<PoolingFreeExecutor>(ctx, cfg);
+      return std::make_unique<PoolingFreeExecutor>(ctx, cfg, schedule);
   }
   return nullptr;
 }
@@ -47,6 +49,9 @@ std::string reclaimer_base_name(const std::string& name) {
   if (takes_suffix(name)) {
     if (ends_with(name, "_af")) return name.substr(0, name.size() - 3);
     if (ends_with(name, "_pool")) return name.substr(0, name.size() - 5);
+    if (ends_with(name, "_adaptive")) {
+      return name.substr(0, name.size() - 9);
+    }
   }
   return name;
 }
@@ -64,13 +69,25 @@ ReclaimerBundle make_reclaimer(const std::string& name, const SmrContext& ctx,
   if (!takes_suffix(base) && base != name) {
     throw std::invalid_argument("unknown reclaimer: " + name);
   }
+  const std::string suffix = name.substr(base.size());
   ExecKind exec = ExecKind::kBatch;
-  if (base.size() < name.size()) {
-    exec = ends_with(name, "_af") ? ExecKind::kAmortized : ExecKind::kPooling;
+  ScheduleKind sched = ScheduleKind::kFixed;
+  if (suffix == "_af") {
+    exec = ExecKind::kAmortized;
+  } else if (suffix == "_pool") {
+    exec = ExecKind::kPooling;
+  } else if (suffix == "_adaptive") {
+    // The adaptive variants amortize like _af, but the drain quantum and
+    // seal/scan thresholds come from the population-aware controller.
+    exec = ExecKind::kAmortized;
+    sched = ScheduleKind::kAdaptive;
   }
 
   ReclaimerBundle bundle;
-  bundle.executor = make_executor(exec, ctx, cfg);
+  // SmrConfig::schedule ("fixed" | "adaptive", EMR_SCHEDULE) overrides
+  // the suffix-derived kind inside make_free_schedule.
+  bundle.schedule = make_free_schedule(sched, cfg);
+  bundle.executor = make_executor(exec, ctx, cfg, bundle.schedule.get());
 
   // Token family.
   TokenOptions topt;
@@ -80,11 +97,14 @@ ReclaimerBundle make_reclaimer(const std::string& name, const SmrContext& ctx,
   } else if (base == "token_passfirst") {
     topt = {"token_passfirst", TokenPolicy::kPassFirst};
   } else if (base == "token") {
-    topt = exec == ExecKind::kBatch
-               ? TokenOptions{"token", TokenPolicy::kPeriodic}
-               : TokenOptions{exec == ExecKind::kAmortized ? "token_af"
-                                                           : "token_pool",
-                              TokenPolicy::kHandOff};
+    if (suffix.empty()) {
+      topt = {"token", TokenPolicy::kPeriodic};
+    } else {
+      topt = {suffix == "_af"        ? "token_af"
+              : suffix == "_pool"    ? "token_pool"
+                                     : "token_adaptive",
+              TokenPolicy::kHandOff};
+    }
   } else {
     is_token = false;
   }
@@ -153,6 +173,7 @@ const std::vector<std::string>& all_factory_names() {
       if (takes_suffix(base)) {
         names.push_back(base + "_af");
         names.push_back(base + "_pool");
+        names.push_back(base + "_adaptive");
       }
     }
     return names;

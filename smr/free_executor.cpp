@@ -7,8 +7,22 @@
 
 namespace emr::smr {
 
-FreeExecutor::FreeExecutor(const SmrContext& ctx, const SmrConfig& cfg)
-    : ctx_(ctx), cfg_(cfg) {}
+FreeExecutor::FreeExecutor(const SmrContext& ctx, const SmrConfig& cfg,
+                           FreeSchedule* schedule)
+    : ctx_(ctx),
+      schedule_(schedule),
+      stats_hungry_(schedule->consumes_lane_stats()),
+      lanes_(cfg.slot_capacity()) {}
+
+FreeExecutor::LaneState& FreeExecutor::lane_state(int lane) {
+  const std::size_t i = static_cast<std::size_t>(lane);
+  return lanes_[i < lanes_.size() ? i : 0];
+}
+
+const FreeExecutor::LaneState& FreeExecutor::lane_state(int lane) const {
+  const std::size_t i = static_cast<std::size_t>(lane);
+  return lanes_[i < lanes_.size() ? i : 0];
+}
 
 void* FreeExecutor::alloc_node(int lane, std::size_t size) {
   // Every node must have room for the reclaimer-owned intrusive header,
@@ -30,12 +44,82 @@ void FreeExecutor::timed_free(int lane, void* p) {
     ctx_.allocator->deallocate(lane, p);
   }
   freed_.fetch_add(1, std::memory_order_relaxed);
+  lane_state(lane).drained.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FreeExecutor::on_adopted(int lane, std::vector<void*>&& bag) {
+  if (bag.empty()) return;
+  LaneState& l = lane_state(lane);
+  l.enqueued.fetch_add(bag.size(), std::memory_order_relaxed);
+  l.adopted_total.fetch_add(bag.size(), std::memory_order_relaxed);
+  for (void* p : bag) l.adopted.push_back(p);
+  l.adopted_backlog.store(l.adopted.size(), std::memory_order_relaxed);
+}
+
+std::size_t FreeExecutor::drain_adopted(int lane, std::size_t quota) {
+  LaneState& l = lane_state(lane);
+  if (quota == 0 || l.adopted.empty()) return 0;
+  const std::uint64_t t0 = stats_hungry_ ? now_ns() : 0;
+  std::size_t n = 0;
+  while (n < quota && !l.adopted.empty()) {
+    timed_free(lane, l.adopted.front());
+    l.adopted.pop_front();
+    ++n;
+  }
+  l.adopted_backlog.store(l.adopted.size(), std::memory_order_relaxed);
+  if (stats_hungry_) {
+    l.drain_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+    l.timed_drained.fetch_add(n, std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void FreeExecutor::on_op_end(int lane) {
+  LaneState& l = lane_state(lane);
+  l.ops.fetch_add(1, std::memory_order_relaxed);
+  if (!l.adopted.empty()) {
+    drain_adopted(lane, drain_quota_for(lane));
+  }
+}
+
+void FreeExecutor::quiesce(int lane) {
+  LaneState& l = lane_state(lane);
+  while (!l.adopted.empty()) {
+    timed_free(lane, l.adopted.front());
+    l.adopted.pop_front();
+  }
+  l.adopted_backlog.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t FreeExecutor::backlog() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    total += lanes_[i].adopted_backlog.load(std::memory_order_relaxed);
+    total += lane_backlog(static_cast<int>(i));
+  }
+  return total;
+}
+
+LaneStats FreeExecutor::lane_stats(int lane) const {
+  const LaneState& l = lane_state(lane);
+  LaneStats s;
+  s.ops = l.ops.load(std::memory_order_relaxed);
+  s.enqueued = l.enqueued.load(std::memory_order_relaxed);
+  s.drained = l.drained.load(std::memory_order_relaxed);
+  s.adopted = l.adopted_total.load(std::memory_order_relaxed);
+  s.backlog = l.adopted_backlog.load(std::memory_order_relaxed) +
+              lane_backlog(lane);
+  s.drain_ns = l.drain_ns.load(std::memory_order_relaxed);
+  s.timed_drained = l.timed_drained.load(std::memory_order_relaxed);
+  return s;
 }
 
 // ---------------------------------------------------------------- batch
 
 void BatchFreeExecutor::on_reclaimable(int lane, std::vector<void*>&& bag) {
   if (bag.empty()) return;
+  lane_state(lane).enqueued.fetch_add(bag.size(),
+                                      std::memory_order_relaxed);
   Timeline* tl = ctx_.timeline;
   const bool instrumented = tl != nullptr && tl->enabled();
   const std::uint64_t t0 = instrumented ? now_ns() : 0;
@@ -46,8 +130,9 @@ void BatchFreeExecutor::on_reclaimable(int lane, std::vector<void*>&& bag) {
 // ------------------------------------------------------------ amortized
 
 AmortizedFreeExecutor::AmortizedFreeExecutor(const SmrContext& ctx,
-                                             const SmrConfig& cfg)
-    : FreeExecutor(ctx, cfg), freeable_(cfg.slot_capacity()) {}
+                                             const SmrConfig& cfg,
+                                             FreeSchedule* schedule)
+    : FreeExecutor(ctx, cfg, schedule), freeable_(cfg.slot_capacity()) {}
 
 AmortizedFreeExecutor::Freeable& AmortizedFreeExecutor::lane(int lane_idx) {
   const std::size_t i = static_cast<std::size_t>(lane_idx);
@@ -56,23 +141,56 @@ AmortizedFreeExecutor::Freeable& AmortizedFreeExecutor::lane(int lane_idx) {
 
 void AmortizedFreeExecutor::on_reclaimable(int lane_idx,
                                            std::vector<void*>&& bag) {
+  lane_state(lane_idx).enqueued.fetch_add(bag.size(),
+                                          std::memory_order_relaxed);
   Freeable& f = lane(lane_idx);
   for (void* p : bag) f.nodes.push_back(p);
   f.size.store(f.nodes.size(), std::memory_order_relaxed);
 }
 
-void AmortizedFreeExecutor::on_op_end(int lane_idx) {
+void AmortizedFreeExecutor::on_adopted(int lane_idx,
+                                       std::vector<void*>&& bag) {
+  // The freeable list already drains at the schedule's quota per op, so
+  // adoption folds straight into it — same amortization, no second
+  // queue.
+  lane_state(lane_idx).adopted_total.fetch_add(bag.size(),
+                                               std::memory_order_relaxed);
+  on_reclaimable(lane_idx, std::move(bag));
+}
+
+std::size_t AmortizedFreeExecutor::drain_freeable(int lane_idx,
+                                                  std::size_t quota,
+                                                  std::size_t floor) {
   Freeable& f = lane(lane_idx);
-  std::size_t n = std::min<std::size_t>(cfg_.af_drain_per_op,
-                                        f.nodes.size());
-  while (n-- > 0) {
+  if (quota == 0 || f.nodes.size() <= floor) return 0;
+  LaneState& l = lane_state(lane_idx);
+  const std::uint64_t t0 = stats_hungry_ ? now_ns() : 0;
+  std::size_t n = 0;
+  while (n < quota && f.nodes.size() > floor) {
     timed_free(lane_idx, f.nodes.front());
     f.nodes.pop_front();
+    ++n;
   }
   f.size.store(f.nodes.size(), std::memory_order_relaxed);
+  if (stats_hungry_) {
+    l.drain_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+    l.timed_drained.fetch_add(n, std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void AmortizedFreeExecutor::on_op_end(int lane_idx) {
+  LaneState& l = lane_state(lane_idx);
+  l.ops.fetch_add(1, std::memory_order_relaxed);
+  // One quota bounds the whole op end: the (rare) adoption queue first,
+  // then the freeable backlog takes whatever is left.
+  const std::size_t quota = drain_quota_for(lane_idx);
+  const std::size_t used = drain_adopted(lane_idx, quota);
+  drain_freeable(lane_idx, quota - used, 0);
 }
 
 void AmortizedFreeExecutor::quiesce(int lane_idx) {
+  FreeExecutor::quiesce(lane_idx);
   Freeable& f = lane(lane_idx);
   while (!f.nodes.empty()) {
     timed_free(lane_idx, f.nodes.front());
@@ -81,20 +199,18 @@ void AmortizedFreeExecutor::quiesce(int lane_idx) {
   f.size.store(0, std::memory_order_relaxed);
 }
 
-std::uint64_t AmortizedFreeExecutor::backlog() const {
-  std::uint64_t total = 0;
-  for (const Freeable& f : freeable_) {
-    total += f.size.load(std::memory_order_relaxed);
-  }
-  return total;
+std::uint64_t AmortizedFreeExecutor::lane_backlog(int lane_idx) const {
+  const std::size_t i = static_cast<std::size_t>(lane_idx);
+  return freeable_[i < freeable_.size() ? i : 0].size.load(
+      std::memory_order_relaxed);
 }
 
 // -------------------------------------------------------------- pooling
 
 PoolingFreeExecutor::PoolingFreeExecutor(const SmrContext& ctx,
-                                         const SmrConfig& cfg)
-    : AmortizedFreeExecutor(ctx, cfg),
-      pool_cap_(std::max<std::size_t>(cfg.batch_size * 4, 1024)) {}
+                                         const SmrConfig& cfg,
+                                         FreeSchedule* schedule)
+    : AmortizedFreeExecutor(ctx, cfg, schedule) {}
 
 void* PoolingFreeExecutor::alloc_node(int lane_idx, std::size_t size) {
   // Trials use one node size; recycle only for that size and fall back to
@@ -110,6 +226,7 @@ void* PoolingFreeExecutor::alloc_node(int lane_idx, std::size_t size) {
     f.size.store(f.nodes.size(), std::memory_order_relaxed);
     pooled_allocs_.fetch_add(1, std::memory_order_relaxed);
     freed_.fetch_add(1, std::memory_order_relaxed);  // left limbo via reuse
+    lane_state(lane_idx).drained.fetch_add(1, std::memory_order_relaxed);
     return p;
   }
   void* p =
@@ -119,13 +236,13 @@ void* PoolingFreeExecutor::alloc_node(int lane_idx, std::size_t size) {
 }
 
 void PoolingFreeExecutor::on_op_end(int lane_idx) {
-  Freeable& f = lane(lane_idx);
-  std::size_t n = cfg_.af_drain_per_op;
-  while (n-- > 0 && f.nodes.size() > pool_cap_) {
-    timed_free(lane_idx, f.nodes.front());
-    f.nodes.pop_front();
-  }
-  f.size.store(f.nodes.size(), std::memory_order_relaxed);
+  LaneState& l = lane_state(lane_idx);
+  l.ops.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t quota = drain_quota_for(lane_idx);
+  const std::size_t used = drain_adopted(lane_idx, quota);
+  // The backlog is inventory: trim only the excess over the schedule's
+  // pool cap, inside the same per-op quota.
+  drain_freeable(lane_idx, quota - used, schedule_->pool_cap());
 }
 
 }  // namespace emr::smr

@@ -25,8 +25,15 @@
 //
 // Churn: a departing handle clears every reservation it published (its
 // eras/interval/open floor can never pin reclamation again) and runs a
-// departure scan; retires a live reservation still covers park in the
-// slot for the next owner (or flush_all).
+// departure scan whose freeable part drains through the executor's
+// on_adopted() path — at the FreeSchedule quota per op — instead of one
+// batch free; retires a live reservation still covers park in the slot
+// for the next owner (or flush_all).
+//
+// Batching policy: the retire-list scan threshold comes from the
+// FreeSchedule (fixed = the configured batch, adaptive = prorated by
+// the registered population); this TU never reads the config's batching
+// knobs.
 #include <algorithm>
 #include <atomic>
 #include <vector>
@@ -78,19 +85,19 @@ class EraReclaimer final : public Reclaimer {
         name_(era_variant_name(variant)),
         variant_(variant),
         ctx_(ctx),
-        cfg_(cfg),
         executor_(executor),
         // Floor of 2 for the ds/ hand-over-hand slot alternation.
         nslots_(std::max<std::size_t>(cfg.hp_slots, 2)),
         epoch_freq_(std::max<std::size_t>(cfg.epoch_freq, 1)),
         threads_(cfg.slot_capacity()) {
+    const std::size_t threshold = scan_threshold();
     for (EraThread& t : threads_) {
       t.slots = std::make_unique<std::atomic<std::uint64_t>[]>(nslots_);
       for (std::size_t i = 0; i < nslots_; ++i) {
         t.slots[i].store(0, std::memory_order_relaxed);
       }
-      t.retired.reserve(cfg_.batch_size);
-      t.scan_at = std::max<std::size_t>(cfg_.batch_size, 1);
+      t.retired.reserve(threshold);
+      t.scan_at = threshold;
     }
   }
 
@@ -175,7 +182,9 @@ class EraReclaimer final : public Reclaimer {
 
   /// Departure: every reservation the thread published drops (a vacated
   /// slot can never pin an era interval), then one scan drains whatever
-  /// no remaining reservation covers; survivors park for the successor.
+  /// no remaining reservation covers — through the executor's adoption
+  /// path, at the schedule's quota per op; survivors park for the
+  /// successor.
   void on_slot_deregister(int tid) override {
     EraThread& t = slot(tid);
     t.lower.store(0, std::memory_order_relaxed);
@@ -186,7 +195,7 @@ class EraReclaimer final : public Reclaimer {
         t.slots[i].store(0, std::memory_order_release);
       }
     }
-    if (!t.retired.empty()) scan(tid, t);
+    if (!t.retired.empty()) scan(tid, t, /*departing=*/true);
   }
 
   void flush_all() override {
@@ -198,6 +207,7 @@ class EraReclaimer final : public Reclaimer {
         t.slots[i].store(0, std::memory_order_relaxed);
       }
     }
+    const std::size_t threshold = scan_threshold();
     for (std::size_t i = 0; i < threads_.size(); ++i) {
       EraThread& t = threads_[i];
       const int tid = static_cast<int>(i);
@@ -206,7 +216,7 @@ class EraReclaimer final : public Reclaimer {
         bag.reserve(t.retired.size());
         for (const RetiredNode& n : t.retired) bag.push_back(n.p);
         t.retired.clear();
-        t.scan_at = std::max<std::size_t>(cfg_.batch_size, 1);
+        t.scan_at = threshold;
         executor_->on_reclaimable(tid, std::move(bag));
       }
       executor_->quiesce(tid);
@@ -230,6 +240,13 @@ class EraReclaimer final : public Reclaimer {
   EraThread& slot(int tid) {
     const std::size_t i = static_cast<std::size_t>(tid);
     return threads_[i < threads_.size() ? i : 0];
+  }
+
+  /// Retire-list scan threshold, asked of the free-schedule policy with
+  /// the live population.
+  std::size_t scan_threshold() const {
+    return std::max<std::size_t>(
+        executor_->schedule().scan_threshold(active_slots()), 1);
   }
 
   /// he/wfe read path: publish the current era in the slot, fence, and
@@ -311,7 +328,7 @@ class EraReclaimer final : public Reclaimer {
     return it != s.eras.end() && *it <= n.retire;
   }
 
-  void scan(int tid, EraThread& t) {
+  void scan(int tid, EraThread& t, bool departing = false) {
     const ReservationSnapshot snap = snapshot_reservations();
     std::vector<void*> bag;
     std::vector<RetiredNode> keep;
@@ -324,8 +341,8 @@ class EraReclaimer final : public Reclaimer {
       }
     }
     t.retired = std::move(keep);
-    t.scan_at = next_scan_at(cfg_.batch_size, t.retired.size());
-    if (!bag.empty()) executor_->on_reclaimable(tid, std::move(bag));
+    t.scan_at = next_scan_at(scan_threshold(), t.retired.size());
+    if (!bag.empty()) executor_->hand_over(tid, departing, std::move(bag));
   }
 
   void advance_era(int tid) {
@@ -337,7 +354,6 @@ class EraReclaimer final : public Reclaimer {
   const char* name_;
   EraVariant variant_;
   SmrContext ctx_;
-  SmrConfig cfg_;
   FreeExecutor* executor_;
   std::size_t nslots_;
   std::size_t epoch_freq_;

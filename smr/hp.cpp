@@ -11,8 +11,15 @@
 //
 // Churn: a departing handle nulls its hazard slots (nothing it ever
 // protected stays pinned) and runs one departure scan over its retire
-// list; survivors still hazarded by other threads park in the slot for
-// the next owner's scans (or flush_all).
+// list whose freeable part drains through the executor's on_adopted()
+// path — at the FreeSchedule quota per op — instead of one batch free;
+// survivors still hazarded by other threads park in the slot for the
+// next owner's scans (or flush_all).
+//
+// Batching policy: the scan threshold comes from the FreeSchedule
+// (fixed = the configured batch, adaptive = prorated by the registered
+// population), floored at Michael's H+1 bound; this TU never reads the
+// config's batching knobs.
 #include <algorithm>
 #include <atomic>
 #include <vector>
@@ -38,25 +45,20 @@ class HpReclaimer final : public Reclaimer {
               FreeExecutor* executor)
       : Reclaimer(cfg),
         ctx_(ctx),
-        cfg_(cfg),
         executor_(executor),
         nlanes_(cfg.slot_capacity()),
         // Floor of 2: the ds/ traversals alternate two slots so the
         // previous hop stays protected while the next one publishes.
         nslots_(std::max<std::size_t>(cfg.hp_slots, 2)),
         threads_(cfg.slot_capacity()) {
-    // Michael's R: a scan can only free anything once the list exceeds
-    // the total hazard count H = N*K, so the effective threshold is the
-    // paper's batch size floored at H+1.
-    scan_threshold_ =
-        std::max<std::size_t>(cfg_.batch_size, nlanes_ * nslots_ + 1);
+    const std::size_t threshold = scan_threshold();
     for (HpThread& t : threads_) {
       t.slots = std::make_unique<std::atomic<void*>[]>(nslots_);
       for (std::size_t i = 0; i < nslots_; ++i) {
         t.slots[i].store(nullptr, std::memory_order_relaxed);
       }
-      t.retired.reserve(scan_threshold_);
-      t.scan_at = scan_threshold_;
+      t.retired.reserve(threshold);
+      t.scan_at = threshold;
     }
   }
 
@@ -68,13 +70,14 @@ class HpReclaimer final : public Reclaimer {
         t.slots[i].store(nullptr, std::memory_order_relaxed);
       }
     }
+    const std::size_t threshold = scan_threshold();
     for (std::size_t i = 0; i < threads_.size(); ++i) {
       HpThread& t = threads_[i];
       const int lane = static_cast<int>(i);
       if (!t.retired.empty()) {
         executor_->on_reclaimable(lane, std::move(t.retired));
         t.retired = {};
-        t.scan_at = scan_threshold_;
+        t.scan_at = threshold;
       }
       executor_->quiesce(lane);
     }
@@ -137,8 +140,9 @@ class HpReclaimer final : public Reclaimer {
   }
 
   /// Departure: drop every hazard publication, then one scan hands the
-  /// unprotected retires to the executor; still-hazarded survivors park
-  /// in the slot for the successor's scans.
+  /// unprotected retires to the executor's adoption path (drained at
+  /// the schedule's quota, never one burst); still-hazarded survivors
+  /// park in the slot for the successor's scans.
   void on_slot_deregister(int slot_idx) override {
     HpThread& t = slot(slot_idx);
     for (std::size_t i = 0; i < nslots_; ++i) {
@@ -146,7 +150,7 @@ class HpReclaimer final : public Reclaimer {
         t.slots[i].store(nullptr, std::memory_order_release);
       }
     }
-    if (!t.retired.empty()) scan(slot_idx, t);
+    if (!t.retired.empty()) scan(slot_idx, t, /*departing=*/true);
   }
 
  private:
@@ -155,9 +159,18 @@ class HpReclaimer final : public Reclaimer {
     return threads_[i < threads_.size() ? i : 0];
   }
 
+  /// Scan threshold from the free-schedule policy, floored at Michael's
+  /// R bound: a scan can only free anything once the list exceeds the
+  /// total hazard count H = N*K.
+  std::size_t scan_threshold() const {
+    return std::max<std::size_t>(
+        executor_->schedule().scan_threshold(active_slots()),
+        nlanes_ * nslots_ + 1);
+  }
+
   /// Snapshot every hazard slot, hand the unprotected retires to the
   /// executor, keep the protected ones for the next scan.
-  void scan(int slot_idx, HpThread& t) {
+  void scan(int slot_idx, HpThread& t, bool departing = false) {
     std::vector<void*> hazards;
     hazards.reserve(nlanes_ * nslots_);
     for (const HpThread& th : threads_) {
@@ -179,20 +192,20 @@ class HpReclaimer final : public Reclaimer {
       }
     }
     t.retired = std::move(keep);
-    t.scan_at = next_scan_at(scan_threshold_, t.retired.size());
+    t.scan_at = next_scan_at(scan_threshold(), t.retired.size());
 
     scans_.fetch_add(1, std::memory_order_relaxed);
     const SmrStats st = stats();
     record_progress_beat(ctx_, slot_idx, st.epochs_advanced, st.pending);
-    if (!bag.empty()) executor_->on_reclaimable(slot_idx, std::move(bag));
+    if (!bag.empty()) {
+      executor_->hand_over(slot_idx, departing, std::move(bag));
+    }
   }
 
   SmrContext ctx_;
-  SmrConfig cfg_;
   FreeExecutor* executor_;
   std::size_t nlanes_;
   std::size_t nslots_;
-  std::size_t scan_threshold_;
   std::vector<HpThread> threads_;
   std::atomic<std::uint64_t> retired_{0};
   std::atomic<std::uint64_t> scans_{0};

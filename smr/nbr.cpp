@@ -33,8 +33,15 @@
 //             twice the threshold forces a neutralization round.
 //
 // Churn: a departing handle drops its announcement (a vacated slot never
-// blocks grace) and runs a departure scan; neutralize_all already skips
+// blocks grace) and runs a departure scan whose freeable part drains
+// through the executor's on_adopted() path — at the FreeSchedule quota
+// per op — instead of one batch free; neutralize_all already skips
 // slots with no announcement, so vacant slots are never "signalled".
+//
+// Batching policy: the retire-list scan threshold comes from the
+// FreeSchedule (fixed = the configured batch, adaptive = prorated by
+// the registered population); this TU never reads the config's batching
+// knobs.
 #include <algorithm>
 #include <atomic>
 #include <limits>
@@ -69,14 +76,13 @@ class NbrReclaimer final : public Reclaimer {
         name_(plus ? "nbrplus" : "nbr"),
         plus_(plus),
         ctx_(ctx),
-        cfg_(cfg),
         executor_(executor),
         epoch_freq_(std::max<std::size_t>(cfg.epoch_freq, 1)),
-        scan_threshold_(std::max<std::size_t>(cfg.batch_size, 1)),
         threads_(cfg.slot_capacity()) {
+    const std::size_t threshold = scan_threshold();
     for (NbrThread& t : threads_) {
-      t.retired.reserve(scan_threshold_);
-      t.scan_at = scan_threshold_;
+      t.retired.reserve(threshold);
+      t.scan_at = threshold;
     }
   }
 
@@ -122,7 +128,7 @@ class NbrReclaimer final : public Reclaimer {
     if (t.retired.size() < t.scan_at) return;
     // nbr neutralizes on every full list; nbrplus lets grace do the work
     // at the low watermark and only signals at twice the threshold.
-    if (!plus_ || t.retired.size() >= 2 * scan_threshold_) {
+    if (!plus_ || t.retired.size() >= 2 * scan_threshold()) {
       neutralize_all(tid);
     }
     scan(tid, t);
@@ -140,12 +146,13 @@ class NbrReclaimer final : public Reclaimer {
 
   /// Departure: the announcement drops (a vacated slot never blocks
   /// grace again) and one scan drains every retire older than the
-  /// remaining announcements; the rest parks for the successor.
+  /// remaining announcements through the executor's adoption path (at
+  /// the schedule's quota per op); the rest parks for the successor.
   void on_slot_deregister(int tid) override {
     NbrThread& t = slot(tid);
     t.start.store(0, std::memory_order_release);
     t.neutralize.store(false, std::memory_order_relaxed);
-    if (!t.retired.empty()) scan(tid, t);
+    if (!t.retired.empty()) scan(tid, t, /*departing=*/true);
   }
 
   void flush_all() override {
@@ -161,7 +168,7 @@ class NbrReclaimer final : public Reclaimer {
         bag.reserve(t.retired.size());
         for (const RetiredNode& n : t.retired) bag.push_back(n.p);
         t.retired.clear();
-        t.scan_at = scan_threshold_;
+        t.scan_at = scan_threshold();
         executor_->on_reclaimable(tid, std::move(bag));
       }
       executor_->quiesce(tid);
@@ -191,6 +198,13 @@ class NbrReclaimer final : public Reclaimer {
     return threads_[i < threads_.size() ? i : 0];
   }
 
+  /// Retire-list scan threshold, asked of the free-schedule policy with
+  /// the live population.
+  std::size_t scan_threshold() const {
+    return std::max<std::size_t>(
+        executor_->schedule().scan_threshold(active_slots()), 1);
+  }
+
   void neutralize_all(int tid) {
     advance_era(tid);
     for (std::size_t i = 0; i < threads_.size(); ++i) {
@@ -204,7 +218,7 @@ class NbrReclaimer final : public Reclaimer {
 
   /// Frees every node retired strictly before the oldest active read
   /// block's announcement.
-  void scan(int tid, NbrThread& t) {
+  void scan(int tid, NbrThread& t, bool departing = false) {
     std::uint64_t min_active = std::numeric_limits<std::uint64_t>::max();
     for (const NbrThread& th : threads_) {
       const std::uint64_t s = th.start.load(std::memory_order_acquire);
@@ -221,8 +235,8 @@ class NbrReclaimer final : public Reclaimer {
       }
     }
     t.retired = std::move(keep);
-    t.scan_at = next_scan_at(scan_threshold_, t.retired.size());
-    if (!bag.empty()) executor_->on_reclaimable(tid, std::move(bag));
+    t.scan_at = next_scan_at(scan_threshold(), t.retired.size());
+    if (!bag.empty()) executor_->hand_over(tid, departing, std::move(bag));
   }
 
   void advance_era(int tid) {
@@ -234,10 +248,8 @@ class NbrReclaimer final : public Reclaimer {
   const char* name_;
   bool plus_;
   SmrContext ctx_;
-  SmrConfig cfg_;
   FreeExecutor* executor_;
   std::size_t epoch_freq_;
-  std::size_t scan_threshold_;
   std::vector<NbrThread> threads_;
   std::atomic<std::uint64_t> era_{1};
   std::atomic<std::uint64_t> retired_{0};

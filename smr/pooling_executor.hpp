@@ -10,15 +10,16 @@ namespace emr::smr {
 
 class PoolingFreeExecutor final : public AmortizedFreeExecutor {
  public:
-  PoolingFreeExecutor(const SmrContext& ctx, const SmrConfig& cfg);
+  PoolingFreeExecutor(const SmrContext& ctx, const SmrConfig& cfg,
+                      FreeSchedule* schedule);
 
   /// Serves from the lane's freeable list when a recycled node of a
   /// compatible size is available; falls back to the allocator.
   void* alloc_node(int lane, std::size_t size) override;
 
-  /// Pooling keeps the backlog as inventory: the per-op drain only trims
-  /// what exceeds the pool cap, so on_op_end frees far less than the
-  /// amortized executor does.
+  /// Pooling keeps the backlog as inventory: the per-op drain only
+  /// trims what exceeds the schedule's pool cap, so on_op_end frees far
+  /// less than the amortized executor does.
   void on_op_end(int lane) override;
 
   std::uint64_t total_pooled_allocs() const {
@@ -26,7 +27,6 @@ class PoolingFreeExecutor final : public AmortizedFreeExecutor {
   }
 
  private:
-  std::size_t pool_cap_;
   std::atomic<std::size_t> common_size_{0};
   std::atomic<std::uint64_t> pooled_allocs_{0};
 };

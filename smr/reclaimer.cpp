@@ -21,8 +21,9 @@ ThreadHandle Reclaimer::register_thread() {
   if (free_slots_.empty()) {
     throw std::runtime_error(
         "register_thread: all " + std::to_string(slot_state_.size()) +
-        " registration slots are live (raise SmrConfig::num_threads or "
-        "extra_slots)");
+        " registration slots are live (capacity = num_threads + "
+        "extra_slots; raise SmrConfig::num_threads or "
+        "SmrConfig::extra_slots — EMR_EXTRA_SLOTS from the harness)");
   }
   const int slot = free_slots_.back();
   free_slots_.pop_back();
@@ -32,7 +33,10 @@ ThreadHandle Reclaimer::register_thread() {
   // backlog before the slot is visible as active to ring/scan logic.
   on_slot_register(slot);
   s.active.store(true, std::memory_order_seq_cst);
-  active_count_.fetch_add(1, std::memory_order_acq_rel);
+  const std::size_t live =
+      active_count_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  executor().schedule().on_population(live);
+  on_population_change(live);
   return ThreadHandle(this, slot, s.generation);
 }
 
@@ -43,9 +47,22 @@ void Reclaimer::deregister(ThreadHandle& h) {
   // Inactive first so scheme departure hooks (token hand-off, epoch
   // advance checks) already see the slot as vacant.
   s.active.store(false, std::memory_order_seq_cst);
-  active_count_.fetch_sub(1, std::memory_order_acq_rel);
+  const std::size_t live =
+      active_count_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  executor().schedule().on_population(live);
+  on_population_change(live);
   on_slot_deregister(slot);
   free_slots_.push_back(slot);
+}
+
+SmrStats Reclaimer::stats_with_lanes() const {
+  SmrStats st = stats();
+  FreeExecutor& ex = const_cast<Reclaimer*>(this)->executor();
+  st.lanes.reserve(ex.lane_count());
+  for (std::size_t i = 0; i < ex.lane_count(); ++i) {
+    st.lanes.push_back(ex.lane_stats(static_cast<int>(i)));
+  }
+  return st;
 }
 
 }  // namespace emr::smr

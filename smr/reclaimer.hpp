@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <new>
@@ -66,6 +67,21 @@ struct SmrConfig {
   /// bumped once per this many node allocations on any one thread (the
   /// IBR paper's epoch_freq). EMR_EPOCH_FREQ.
   std::size_t epoch_freq = 64;
+  /// Free-schedule policy selection: "" follows the factory name's
+  /// suffix (fixed for plain/_af/_pool names, adaptive for the
+  /// *_adaptive variants); "fixed" or "adaptive" forces the choice for
+  /// any name. Anything else fails fast in make_free_schedule.
+  /// EMR_SCHEDULE.
+  std::string schedule;
+  /// Pooling inventory cap per lane; 0 = auto (four batches, floored
+  /// at 1024). EMR_POOL_CAP — the env path rejects non-positive values
+  /// instead of silently repairing them.
+  std::size_t pool_cap = 0;
+  /// Clamp for the adaptive schedule's per-op drain quantum: the
+  /// controller never drains fewer than drain_min or more than
+  /// drain_max nodes at one op end. EMR_DRAIN_MIN / EMR_DRAIN_MAX.
+  std::size_t drain_min = 1;
+  std::size_t drain_max = 64;
 
   /// Total registration slots: how many ThreadHandles may be live at
   /// once. Every per-thread array in the schemes, executors and modelled
@@ -98,6 +114,70 @@ struct NodeHeader {
   std::uint64_t birth_era;
 };
 
+/// Per-registration-slot counters every FreeExecutor maintains. The
+/// FreeSchedule's adaptive controller samples them to size its drain
+/// quantum, and Reclaimer::stats_with_lanes() surfaces them to the
+/// harness. All fields are monotonic except `backlog`.
+struct LaneStats {
+  std::uint64_t ops = 0;       // completed operations on this lane
+  std::uint64_t enqueued = 0;  // nodes handed over as reclaimable
+  std::uint64_t drained = 0;   // nodes freed or pool-recycled
+  std::uint64_t adopted = 0;   // nodes inherited from departing slots
+  std::uint64_t backlog = 0;   // nodes currently held for this lane
+  /// ns spent inside amortized drain bursts, and the node count those
+  /// clocked bursts freed — the denominator for a ns-per-free estimate
+  /// (`drained` also counts pool recycles and batch whole-bag frees,
+  /// which are never clocked and would dilute it). Tracked only for
+  /// policies that consume lane stats
+  /// (FreeSchedule::consumes_lane_stats); constant-quantum schedules
+  /// skip the clock reads and leave both 0.
+  std::uint64_t drain_ns = 0;
+  std::uint64_t timed_drained = 0;
+};
+
+/// Free-schedule policy: every batching decision in the retire->free
+/// pipeline is answered here instead of by raw SmrConfig constants —
+/// how many backlog nodes an amortizing executor frees at one op end,
+/// how large a limbo bag / retire list may grow before it seals or
+/// scans, and how much inventory the pooling executor keeps. Executors
+/// and scheme TUs *ask* the policy; only the policy implementations
+/// (smr/free_schedule.cpp) read the config's batching knobs. See
+/// docs/FREE_SCHEDULES.md for the contract and the shipped policies
+/// (fixed mirrors the config; adaptive is a population-aware feedback
+/// controller).
+///
+/// Thread model: drain_quota/scan_threshold/pool_cap are called
+/// concurrently from every lane and must be safe on shared state;
+/// on_population is called under the registration lock.
+class FreeSchedule {
+ public:
+  virtual ~FreeSchedule() = default;
+  virtual const char* name() const = 0;
+
+  /// Nodes an amortizing drain may free at one op end on this lane.
+  /// Executors treat the result as a hard per-op ceiling.
+  virtual std::size_t drain_quota(const LaneStats& lane) const = 0;
+
+  /// Bag size that seals a limbo bag (epoch/token families) or retire
+  /// list size that triggers a scan (hp/he/ibr/wfe/nbr), given the
+  /// number of currently registered threads. Schemes may floor the
+  /// result (hp applies Michael's H+1 bound) but never exceed it.
+  virtual std::size_t scan_threshold(std::size_t population) const = 0;
+
+  /// The pooling executor's per-lane inventory cap.
+  virtual std::size_t pool_cap() const = 0;
+
+  /// Population beat: the number of live ThreadHandles, pushed by the
+  /// owning reclaimer after every register/deregister.
+  virtual void on_population(std::size_t n) { (void)n; }
+
+  /// Whether drain_quota() actually reads its LaneStats argument.
+  /// Policies with a constant quantum return false so executors can
+  /// skip the per-op stats snapshot and the drain-cost clock reads on
+  /// the hot path (drain_ns then stays zero).
+  virtual bool consumes_lane_stats() const { return true; }
+};
+
 struct SmrStats {
   std::uint64_t retired = 0;
   std::uint64_t freed = 0;    // reached the allocator or was pool-recycled
@@ -106,12 +186,18 @@ struct SmrStats {
   /// rotations (token), retire-list scans (hp), era advances (he/ibr/
   /// wfe/nbr).
   std::uint64_t epochs_advanced = 0;
+  /// Per-registration-slot executor counters. Filled only by
+  /// Reclaimer::stats_with_lanes(); plain stats() leaves it empty so
+  /// the epoch-advance hot path never allocates.
+  std::vector<LaneStats> lanes;
 };
 
-/// Free-schedule policy base: the reclaimer hands bags of
+/// Free-schedule executor base: the reclaimer hands bags of
 /// safe-to-reclaim nodes here, and the executor turns them into
 /// allocator traffic (see smr/free_executor.hpp for the batch, amortized,
-/// and pooling implementations).
+/// and pooling implementations). *When* and *how much* to free is not
+/// the executor's call: every quantum comes from the FreeSchedule
+/// policy it is constructed over.
 ///
 /// Executors do not see thread identity at all: every entry point takes
 /// the registration-slot `lane` the owning reclaimer derived from the
@@ -141,7 +227,8 @@ struct SmrStats {
 ///    pool recycles).
 class FreeExecutor {
  public:
-  FreeExecutor(const SmrContext& ctx, const SmrConfig& cfg);
+  FreeExecutor(const SmrContext& ctx, const SmrConfig& cfg,
+               FreeSchedule* schedule);
   virtual ~FreeExecutor() = default;
 
   /// Serves a node allocation; the default goes straight to the
@@ -151,27 +238,96 @@ class FreeExecutor {
   /// A bag of nodes is now safe to reclaim. Ownership transfers.
   virtual void on_reclaimable(int lane, std::vector<void*>&& bag) = 0;
 
-  /// Called once per completed operation (the amortization hook).
-  virtual void on_op_end(int lane) { (void)lane; }
+  /// A departing slot's hand-off: nodes that are already safe but must
+  /// not hit the allocator in one burst (the churn-aware departure
+  /// drain). The default parks the bag in a per-lane adoption queue
+  /// that on_op_end drains at the schedule's quota; amortizing
+  /// executors fold it into their normal freeable backlog instead,
+  /// which obeys the same quota. Ownership transfers.
+  virtual void on_adopted(int lane, std::vector<void*>&& bag);
+
+  /// Routing shorthand for the scheme TUs' drain paths: a bag left by
+  /// a departed generation goes through the amortizing adoption queue,
+  /// a fresh one straight to the schedule's normal path.
+  void hand_over(int lane, bool adopted, std::vector<void*>&& bag) {
+    if (adopted) {
+      on_adopted(lane, std::move(bag));
+    } else {
+      on_reclaimable(lane, std::move(bag));
+    }
+  }
+
+  /// Called once per completed operation (the amortization hook). The
+  /// base implementation counts the op and drains the lane's adoption
+  /// queue at the schedule's quota; overrides must uphold the same
+  /// per-op ceiling across every backlog they drain.
+  virtual void on_op_end(int lane);
 
   /// Frees any backlog held for `lane`. Single-threaded use only.
-  virtual void quiesce(int lane) { (void)lane; }
+  virtual void quiesce(int lane);
 
   /// Nodes this executor has freed or recycled (== left limbo).
   std::uint64_t total_freed() const {
     return freed_.load(std::memory_order_relaxed);
   }
 
-  /// Nodes held in freeable backlogs (amortized/pooling variants).
-  virtual std::uint64_t backlog() const { return 0; }
+  /// Nodes held in per-lane backlogs: adoption queues plus any
+  /// executor-specific freeable lists.
+  std::uint64_t backlog() const;
+
+  /// The policy every quantum is sourced from.
+  FreeSchedule& schedule() const { return *schedule_; }
+
+  /// Snapshot of one lane's counters. Readable from any thread.
+  LaneStats lane_stats(int lane) const;
+
+  std::size_t lane_count() const { return lanes_.size(); }
 
  protected:
+  struct alignas(64) LaneState {
+    /// Departure hand-offs awaiting the amortized adoption drain. Only
+    /// the lane's owning thread (or a registry hook while the slot is
+    /// unowned) touches the deque; the atomic mirrors are for readers.
+    std::deque<void*> adopted;
+    std::atomic<std::uint64_t> ops{0};
+    std::atomic<std::uint64_t> enqueued{0};
+    std::atomic<std::uint64_t> drained{0};
+    std::atomic<std::uint64_t> adopted_total{0};
+    std::atomic<std::uint64_t> adopted_backlog{0};
+    std::atomic<std::uint64_t> drain_ns{0};
+    std::atomic<std::uint64_t> timed_drained{0};
+  };
+
   /// Frees one node through the allocator, timing it into the trial
   /// timeline as a kFreeCall when instrumentation is on.
   void timed_free(int lane, void* p);
 
+  /// Frees up to `quota` nodes from the lane's adoption queue; returns
+  /// how many it freed.
+  std::size_t drain_adopted(int lane, std::size_t quota);
+
+  /// The schedule's quantum for this lane's op end. Builds the stats
+  /// snapshot only when the policy consumes it, so constant-quantum
+  /// schedules cost one virtual call per op.
+  std::size_t drain_quota_for(int lane) const {
+    if (!stats_hungry_) return schedule_->drain_quota(LaneStats{});
+    return schedule_->drain_quota(lane_stats(lane));
+  }
+
+  LaneState& lane_state(int lane);
+  const LaneState& lane_state(int lane) const;
+
+  /// Executor-specific backlog beyond the adoption queue (the
+  /// amortized executor's freeable list).
+  virtual std::uint64_t lane_backlog(int lane) const {
+    (void)lane;
+    return 0;
+  }
+
   SmrContext ctx_;
-  SmrConfig cfg_;
+  FreeSchedule* schedule_;
+  bool stats_hungry_;  // schedule_->consumes_lane_stats(), cached
+  std::vector<LaneState> lanes_;
   std::atomic<std::uint64_t> freed_{0};
 };
 
@@ -279,7 +435,9 @@ class Reclaimer {
   /// (recycling released ones through a free-list), bumps its
   /// generation, runs the scheme's adoption hook, and returns the RAII
   /// handle. Throws std::runtime_error when all slot_capacity() slots
-  /// are live — raise SmrConfig::num_threads/extra_slots for more.
+  /// are live — the error names the capacity and the knobs that raise
+  /// it (SmrConfig::num_threads/extra_slots, EMR_EXTRA_SLOTS from the
+  /// harness).
   ThreadHandle register_thread();
 
   void begin_op(ThreadHandle& h) { begin_op_slot(check(h)); }
@@ -333,6 +491,12 @@ class Reclaimer {
   virtual void flush_all() = 0;
 
   virtual SmrStats stats() const = 0;
+
+  /// stats() plus the executor's per-lane counters (SmrStats::lanes):
+  /// one LaneStats per registration slot. Costs a vector allocation —
+  /// meant for instruments and traces, not hot paths.
+  SmrStats stats_with_lanes() const;
+
   virtual FreeExecutor& executor() = 0;
   virtual const char* name() const = 0;
 
@@ -386,6 +550,14 @@ class Reclaimer {
   virtual void on_slot_register(int slot) { (void)slot; }
   virtual void on_slot_deregister(int slot) { (void)slot; }
 
+  /// Population beat, run under the registry lock after active_slots()
+  /// has been updated (register and deregister). Schemes that cache a
+  /// population-derived quantum — the epoch/token families keep their
+  /// bag-seal threshold out of the per-retire path — refresh it here;
+  /// the free schedule receives the same beat via
+  /// FreeSchedule::on_population.
+  virtual void on_population_change(std::size_t live) { (void)live; }
+
  private:
   friend class ThreadHandle;
 
@@ -418,9 +590,12 @@ inline void ThreadHandle::release() {
   }
 }
 
-/// make_reclaimer's result: the executor must outlive the reclaimer, so
-/// they travel together (executor declared first => destroyed last).
+/// make_reclaimer's result. Destruction order matters: the reclaimer
+/// flushes through the executor and the executor asks the schedule for
+/// quanta, so the schedule is declared first (destroyed last), then the
+/// executor, then the reclaimer.
 struct ReclaimerBundle {
+  std::unique_ptr<FreeSchedule> schedule;
   std::unique_ptr<FreeExecutor> executor;
   std::unique_ptr<Reclaimer> reclaimer;
 };

@@ -21,7 +21,14 @@
 // parked on a slot whose owner departed (or the departing holder loses
 // the hand-off race), any active thread's next end_op adopts it with a
 // CAS. A departing handle seals its bag, drains what is already safe and
-// parks the rest for the slot's successor (or flush_all).
+// parks the rest for the slot's successor (or flush_all); every bag the
+// departing thread leaves behind is marked adopted and later drains
+// through the executor's on_adopted() path — at the FreeSchedule quota
+// per op — instead of in one burst.
+//
+// Batching policy: the bag-seal threshold comes from the FreeSchedule
+// (fixed = the configured batch, adaptive = prorated by the registered
+// population); this TU never reads the config's batching knobs.
 #include <algorithm>
 #include <atomic>
 #include <deque>
@@ -36,6 +43,7 @@ namespace {
 
 struct SealedBag {
   std::uint64_t pass = 0;
+  bool adopted = false;  // left behind by a departed generation
   std::vector<void*> nodes;
 };
 
@@ -52,10 +60,12 @@ class TokenReclaimer final : public Reclaimer {
       : Reclaimer(cfg),
         opt_(opt),
         ctx_(ctx),
-        cfg_(cfg),
         executor_(executor),
         nlanes_(static_cast<int>(cfg.slot_capacity())),
-        slots_(cfg.slot_capacity()) {}
+        slots_(cfg.slot_capacity()) {
+    seal_threshold_.store(compute_seal_threshold(),
+                          std::memory_order_relaxed);
+  }
 
   ~TokenReclaimer() override { flush_all(); }
 
@@ -118,9 +128,10 @@ class TokenReclaimer final : public Reclaimer {
   void retire_slot(int slot_idx, void* p) override {
     TokenSlot& s = slot(slot_idx);
     retired_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t threshold = seal_threshold();
     std::lock_guard<std::mutex> lock(s.mu);
     s.bag.push_back(p);
-    if (s.bag.size() >= cfg_.batch_size) seal(s);
+    if (s.bag.size() >= threshold) seal(s);
   }
 
   void* alloc_node_slot(int slot_idx, std::size_t size) override {
@@ -131,19 +142,27 @@ class TokenReclaimer final : public Reclaimer {
     ctx_.allocator->deallocate(slot_idx, p);
   }
 
-  /// Departure: seal + drain what's already safe, park the rest for the
-  /// slot's successor, and hand the token onward if this slot holds it
-  /// (a racing adopter may win the CAS instead — either way it moves).
-  /// The hand-off is a transfer, not a quiesce: passes_ stays put.
+  /// Departure: seal, mark every parked bag adopted (so whenever grace
+  /// admits it, it drains at the schedule's quota over the successor's
+  /// ops), drain what's already safe through the same amortizing path,
+  /// and hand the token onward if this slot holds it (a racing adopter
+  /// may win the CAS instead — either way it moves). The hand-off is a
+  /// transfer, not a quiesce: passes_ stays put.
+  void on_population_change(std::size_t) override {
+    seal_threshold_.store(compute_seal_threshold(),
+                          std::memory_order_relaxed);
+  }
+
   void on_slot_deregister(int slot_idx) override {
     TokenSlot& s = slot(slot_idx);
     {
       std::lock_guard<std::mutex> lock(s.mu);
       seal(s);
+      for (SealedBag& b : s.sealed) b.adopted = true;
     }
     const std::uint64_t pass_now = passes_.load(std::memory_order_relaxed);
     for (SealedBag& b : take_safe(s, pass_now, 0)) {
-      executor_->on_reclaimable(slot_idx, std::move(b.nodes));
+      hand_over(slot_idx, std::move(b));
     }
     std::uint64_t word = holder_.load(std::memory_order_acquire);
     const int next = next_active(slot_idx);
@@ -159,12 +178,31 @@ class TokenReclaimer final : public Reclaimer {
     return slots_[i < slots_.size() ? i : 0];
   }
 
+  /// Bag size that seals the open bag. The policy answer only moves on
+  /// population beats, so it is cached out of the per-retire path and
+  /// refreshed by on_population_change.
+  std::size_t seal_threshold() const {
+    return seal_threshold_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t compute_seal_threshold() const {
+    return std::max<std::size_t>(
+        executor_->schedule().scan_threshold(active_slots()), 1);
+  }
+
   void seal(TokenSlot& s) {
     if (s.bag.empty()) return;
+    const std::size_t sealed_size = s.bag.size();
     s.sealed.push_back(SealedBag{passes_.load(std::memory_order_relaxed),
-                                 std::move(s.bag)});
+                                 /*adopted=*/false, std::move(s.bag)});
     s.bag = {};
-    s.bag.reserve(cfg_.batch_size);
+    s.bag.reserve(sealed_size);
+  }
+
+  /// Routes one safe bag to the executor: adopted bags through the
+  /// amortizing adoption path, fresh ones straight to the schedule.
+  void hand_over(int slot_idx, SealedBag&& b) {
+    executor_->hand_over(slot_idx, b.adopted, std::move(b.nodes));
   }
 
   /// A bag is safe once 2 * slot_capacity passes have elapsed since its
@@ -241,7 +279,7 @@ class TokenReclaimer final : public Reclaimer {
         // Serialize: the holder reclaims for everyone, then passes.
         for (TokenSlot& s : slots_) {
           for (SealedBag& b : take_safe(s, pass_now, 0)) {
-            executor_->on_reclaimable(slot_idx, std::move(b.nodes));
+            hand_over(slot_idx, std::move(b));
           }
         }
         pass_token(slot_idx, word);
@@ -249,19 +287,19 @@ class TokenReclaimer final : public Reclaimer {
       case TokenPolicy::kPassFirst:
         pass_token(slot_idx, word);
         for (SealedBag& b : take_safe(slot(slot_idx), pass_now, 0)) {
-          executor_->on_reclaimable(slot_idx, std::move(b.nodes));
+          hand_over(slot_idx, std::move(b));
         }
         break;
       case TokenPolicy::kPeriodic:
         pass_token(slot_idx, word);
         for (SealedBag& b : take_safe(slot(slot_idx), pass_now, 1)) {
-          executor_->on_reclaimable(slot_idx, std::move(b.nodes));
+          hand_over(slot_idx, std::move(b));
         }
         break;
       case TokenPolicy::kHandOff:
         pass_token(slot_idx, word);
         for (SealedBag& b : take_safe(slot(slot_idx), pass_now, 0)) {
-          executor_->on_reclaimable(slot_idx, std::move(b.nodes));
+          hand_over(slot_idx, std::move(b));
         }
         break;
     }
@@ -269,10 +307,10 @@ class TokenReclaimer final : public Reclaimer {
 
   TokenOptions opt_;
   SmrContext ctx_;
-  SmrConfig cfg_;
   FreeExecutor* executor_;
   int nlanes_;
   std::vector<TokenSlot> slots_;
+  std::atomic<std::size_t> seal_threshold_{1};
   // (version << 32) | slot — see holder_word(). Starts at slot 0,
   // version 0.
   std::atomic<std::uint64_t> holder_{0};

@@ -122,6 +122,50 @@ TEST(Env, ConfigFromEnvUsesEnv) {
   EXPECT_EQ(cfg.seed, 9u);
 }
 
+TEST(Env, ScheduleKnobsOverrideAndValidate) {
+  EnvGuard env;
+  env.unset("EMR_SCHEDULE");
+  env.unset("EMR_DRAIN_MIN");
+  env.unset("EMR_DRAIN_MAX");
+  env.unset("EMR_POOL_CAP");
+  env.unset("EMR_EXTRA_SLOTS");
+
+  harness::TrialConfig cfg;
+  harness::apply_env_overrides(cfg);
+  EXPECT_EQ(cfg.smr.schedule, "");  // silent env leaves defaults alone
+  EXPECT_EQ(cfg.smr.drain_min, 1u);
+  EXPECT_EQ(cfg.smr.drain_max, 64u);
+  EXPECT_EQ(cfg.smr.pool_cap, 0u);
+  EXPECT_EQ(cfg.smr.extra_slots, 2u);
+
+  env.set("EMR_SCHEDULE", "adaptive");
+  env.set("EMR_DRAIN_MIN", "2");
+  env.set("EMR_DRAIN_MAX", "128");
+  env.set("EMR_POOL_CAP", "4096");
+  env.set("EMR_EXTRA_SLOTS", "5");
+  harness::apply_env_overrides(cfg);
+  EXPECT_EQ(cfg.smr.schedule, "adaptive");
+  EXPECT_EQ(cfg.smr.drain_min, 2u);
+  EXPECT_EQ(cfg.smr.drain_max, 128u);
+  EXPECT_EQ(cfg.smr.pool_cap, 4096u);
+  EXPECT_EQ(cfg.smr.extra_slots, 5u);
+
+  // Nonsensical values fail fast instead of being silently repaired.
+  env.set("EMR_POOL_CAP", "0");
+  EXPECT_THROW(harness::apply_env_overrides(cfg), std::invalid_argument);
+  env.set("EMR_POOL_CAP", "-3");
+  EXPECT_THROW(harness::apply_env_overrides(cfg), std::invalid_argument);
+  env.set("EMR_POOL_CAP", "512");
+  env.set("EMR_EXTRA_SLOTS", "0");
+  EXPECT_THROW(harness::apply_env_overrides(cfg), std::invalid_argument);
+  env.set("EMR_EXTRA_SLOTS", "2");
+  env.set("EMR_DRAIN_MIN", "0");
+  EXPECT_THROW(harness::apply_env_overrides(cfg), std::invalid_argument);
+  env.set("EMR_DRAIN_MIN", "2");
+  env.set("EMR_DRAIN_MAX", "-1");
+  EXPECT_THROW(harness::apply_env_overrides(cfg), std::invalid_argument);
+}
+
 TEST(Env, F64AndStr) {
   EnvGuard env;
   env.set("EMR_TEST_F", "0.75");

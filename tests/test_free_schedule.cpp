@@ -1,0 +1,407 @@
+// FreeSchedule layer suite: the fixed policy mirrors the config, the
+// adaptive controller tracks backlog/population and clamps its quantum,
+// nonsensical knob values fail fast naming the knob, EMR_SCHEDULE-style
+// overrides govern any factory name, the pooling cap flows through the
+// policy, and the churn-aware departure drain never frees more than the
+// quota in one op (the adoption-spike regression). The *Concurrent*
+// case races lane-stats readers against live lanes — ci/check.sh runs
+// it under TSAN.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "smr/factory.hpp"
+#include "smr/free_schedule.hpp"
+#include "tests/tracking_allocator.hpp"
+
+namespace {
+
+using namespace emr;
+using test::TrackingAllocator;
+
+struct World {
+  TrackingAllocator allocator;
+  smr::SmrContext ctx;
+  smr::SmrConfig cfg;
+  smr::ReclaimerBundle bundle;
+
+  explicit World(const std::string& name, smr::SmrConfig config) {
+    ctx.allocator = &allocator;
+    cfg = config;
+    bundle = smr::make_reclaimer(name, ctx, cfg);
+  }
+
+  smr::Reclaimer& r() { return *bundle.reclaimer; }
+};
+
+smr::SmrConfig small_config(std::size_t batch = 8, std::size_t drain = 4) {
+  smr::SmrConfig cfg;
+  cfg.num_threads = 3;
+  cfg.batch_size = batch;
+  cfg.af_drain_per_op = drain;
+  cfg.epoch_freq = 16;
+  return cfg;
+}
+
+// ------------------------------------------------------------- policies
+
+TEST(FreeSchedule, FixedMirrorsTheConfig) {
+  smr::SmrConfig cfg;
+  cfg.batch_size = 128;
+  cfg.af_drain_per_op = 7;
+  auto sched = smr::make_free_schedule(smr::ScheduleKind::kFixed, cfg);
+  EXPECT_STREQ(sched->name(), "fixed");
+  smr::LaneStats huge;
+  huge.backlog = 1 << 20;
+  EXPECT_EQ(sched->drain_quota(huge), 7u);       // backlog is ignored
+  EXPECT_EQ(sched->scan_threshold(0), 128u);     // population is ignored
+  EXPECT_EQ(sched->scan_threshold(999), 128u);
+  EXPECT_EQ(sched->pool_cap(), 1024u);  // auto: max(4 * batch, 1024)
+
+  cfg.batch_size = 4096;
+  EXPECT_EQ(smr::make_free_schedule(smr::ScheduleKind::kFixed, cfg)
+                ->pool_cap(),
+            16384u);
+  cfg.pool_cap = 77;  // explicit cap wins over the auto formula
+  EXPECT_EQ(smr::make_free_schedule(smr::ScheduleKind::kFixed, cfg)
+                ->pool_cap(),
+            77u);
+}
+
+TEST(FreeSchedule, NonsenseFailsFastNamingTheKnob) {
+  smr::SmrConfig cfg;
+  cfg.batch_size = 0;
+  EXPECT_THROW(smr::make_free_schedule(smr::ScheduleKind::kFixed, cfg),
+               std::invalid_argument);
+  cfg = {};
+  cfg.drain_min = 0;
+  EXPECT_THROW(smr::make_free_schedule(smr::ScheduleKind::kAdaptive, cfg),
+               std::invalid_argument);
+  cfg = {};
+  cfg.drain_min = 8;
+  cfg.drain_max = 2;
+  try {
+    smr::make_free_schedule(smr::ScheduleKind::kFixed, cfg);
+    FAIL() << "drain_max < drain_min must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("EMR_DRAIN_MAX"),
+              std::string::npos);
+  }
+  cfg = {};
+  cfg.schedule = "bogus";
+  try {
+    smr::make_free_schedule(smr::ScheduleKind::kFixed, cfg);
+    FAIL() << "unknown schedule name must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("adaptive"), std::string::npos);
+  }
+}
+
+TEST(FreeSchedule, AdaptiveQuotaTracksBacklogAndClamps) {
+  smr::SmrConfig cfg;
+  cfg.num_threads = 4;
+  cfg.drain_min = 2;
+  cfg.drain_max = 32;
+  auto sched = smr::make_free_schedule(smr::ScheduleKind::kAdaptive, cfg);
+  EXPECT_STREQ(sched->name(), "adaptive");
+  sched->on_population(4);
+
+  smr::LaneStats lane;
+  EXPECT_EQ(sched->drain_quota(lane), 2u);  // empty backlog: the floor
+
+  lane.backlog = 1;
+  const std::size_t q_small = sched->drain_quota(lane);
+  lane.backlog = 100'000;
+  const std::size_t q_big = sched->drain_quota(lane);
+  EXPECT_GE(q_big, q_small) << "quota must be monotone in backlog";
+  EXPECT_EQ(q_big, 32u) << "a huge backlog must hit the clamp";
+  lane.backlog = 1 << 30;
+  EXPECT_EQ(sched->drain_quota(lane), 32u);
+
+  // More registrants shorten the drain horizon: same backlog, bigger
+  // quota.
+  lane.backlog = 2048;
+  sched->on_population(1);
+  const std::size_t q_idle = sched->drain_quota(lane);
+  sched->on_population(8);
+  const std::size_t q_crowded = sched->drain_quota(lane);
+  EXPECT_GE(q_crowded, q_idle);
+}
+
+TEST(FreeSchedule, AdaptiveQuotaRespectsDrainCost) {
+  smr::SmrConfig cfg;
+  cfg.drain_min = 1;
+  cfg.drain_max = 1024;
+  auto sched = smr::make_free_schedule(smr::ScheduleKind::kAdaptive, cfg);
+  sched->on_population(1);
+  smr::LaneStats lane;
+  lane.backlog = 1 << 20;
+  lane.timed_drained = 100;
+  // Pool recycles / batch frees are counted here but never clocked;
+  // they must not dilute the ns-per-free estimate below.
+  lane.drained = 100'000;
+  lane.drain_ns = 100 * 1'000'000;  // 1 ms per clocked free: pathological
+  // 50 us budget / 1 ms per free -> quota collapses toward the floor
+  // instead of stalling the op on a million-node drain.
+  EXPECT_LE(sched->drain_quota(lane), 2u);
+}
+
+TEST(FreeSchedule, AdaptiveThresholdProratesWithPopulation) {
+  smr::SmrConfig cfg;
+  cfg.num_threads = 6;
+  cfg.extra_slots = 2;  // capacity 8
+  cfg.batch_size = 4096;
+  auto sched = smr::make_free_schedule(smr::ScheduleKind::kAdaptive, cfg);
+  const std::size_t cap = cfg.slot_capacity();
+  EXPECT_EQ(sched->scan_threshold(cap), 4096u);  // full table: full batch
+  EXPECT_EQ(sched->scan_threshold(cap / 2), 2048u);
+  EXPECT_EQ(sched->scan_threshold(1), 4096u / cap);
+  EXPECT_EQ(sched->scan_threshold(0), 4096u / cap);  // floored population
+  EXPECT_EQ(sched->scan_threshold(cap * 10), 4096u)
+      << "population beyond capacity must not exceed the configured batch";
+  // Degenerate batch still yields a usable threshold.
+  cfg.batch_size = 2;
+  auto tiny = smr::make_free_schedule(smr::ScheduleKind::kAdaptive, cfg);
+  EXPECT_GE(tiny->scan_threshold(1), 1u);
+}
+
+// ------------------------------------------------------ factory wiring
+
+TEST(FreeSchedule, SuffixSelectsThePolicy) {
+  World fixed("debra_af", small_config());
+  EXPECT_STREQ(fixed.bundle.schedule->name(), "fixed");
+  World adaptive("debra_adaptive", small_config());
+  EXPECT_STREQ(adaptive.bundle.schedule->name(), "adaptive");
+  EXPECT_STREQ(adaptive.r().name(), "debra");
+  World token_adaptive("token_adaptive", small_config());
+  EXPECT_STREQ(token_adaptive.r().name(), "token_adaptive");
+}
+
+TEST(FreeSchedule, ScheduleOverrideGovernsAnyName) {
+  smr::SmrConfig cfg = small_config();
+  cfg.schedule = "adaptive";
+  World batch_adaptive("debra", cfg);  // batch executor, adaptive policy
+  EXPECT_STREQ(batch_adaptive.bundle.schedule->name(), "adaptive");
+
+  cfg.schedule = "fixed";
+  World pinned("hp_adaptive", cfg);  // the override beats the suffix
+  EXPECT_STREQ(pinned.bundle.schedule->name(), "fixed");
+
+  cfg.schedule = "bogus";
+  TrackingAllocator allocator;
+  smr::SmrContext ctx;
+  ctx.allocator = &allocator;
+  EXPECT_THROW(smr::make_reclaimer("debra", ctx, cfg),
+               std::invalid_argument);
+}
+
+TEST(FreeSchedule, PopulationFollowsRegistration) {
+  World w("debra_adaptive", small_config());
+  auto* sched =
+      dynamic_cast<smr::AdaptiveFreeSchedule*>(w.bundle.schedule.get());
+  ASSERT_NE(sched, nullptr);
+  EXPECT_EQ(sched->population(), 0u);
+  {
+    smr::ThreadHandle a = w.r().register_thread();
+    EXPECT_EQ(sched->population(), 1u);
+    smr::ThreadHandle b = w.r().register_thread();
+    EXPECT_EQ(sched->population(), 2u);
+  }
+  EXPECT_EQ(sched->population(), 0u);
+}
+
+TEST(FreeSchedule, PoolCapFlowsThroughThePolicy) {
+  smr::SmrConfig cfg = small_config(/*batch=*/8, /*drain=*/64);
+  cfg.pool_cap = 16;
+  World w("debra_pool", cfg);
+  smr::ThreadHandle h = w.r().register_thread();
+  smr::ThreadHandle other = w.r().register_thread();
+  for (int i = 0; i < 256; ++i) {
+    smr::Guard g(h);
+    g.retire(w.r().alloc_node(h, 64));
+  }
+  // Quiescent rounds age every bag and trim the pool down to the cap.
+  for (int i = 0; i < 256; ++i) {
+    { smr::Guard g(h); }
+    { smr::Guard g(other); }
+  }
+  EXPECT_LE(w.r().executor().backlog(), 16u)
+      << "pooling must trim its inventory to FreeSchedule::pool_cap()";
+  EXPECT_GT(w.r().executor().backlog(), 0u)
+      << "pooling must keep inventory up to the cap";
+  w.r().flush_all();
+  EXPECT_EQ(w.allocator.live(), 0u);
+}
+
+TEST(FreeSchedule, RegisterExhaustionNamesTheKnob) {
+  World w("debra", small_config());
+  std::vector<smr::ThreadHandle> handles;
+  for (std::size_t i = 0; i < w.r().slot_capacity(); ++i) {
+    handles.push_back(w.r().register_thread());
+  }
+  try {
+    w.r().register_thread();
+    FAIL() << "exhausted table must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(std::to_string(w.r().slot_capacity())),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("EMR_EXTRA_SLOTS"), std::string::npos) << msg;
+  }
+}
+
+// ------------------------------------- churn-aware departure drain
+
+// The adoption-spike regression (satellite of the FreeSchedule issue):
+// a departing thread's parked bags must reach the allocator at the
+// schedule's quota per op — never as one burst — even under the batch
+// executor, where fresh bags are deliberately freed whole.
+TEST(FreeSchedule, DepartureBacklogNeverSpikesPastQuota) {
+  constexpr std::uint64_t kQuota = 4;
+  constexpr int kRetired = 40;
+  World w("debra", small_config(/*batch=*/8, /*drain=*/kQuota));
+  smr::ThreadHandle a = w.r().register_thread();
+  smr::ThreadHandle b = w.r().register_thread();
+
+  std::uint64_t at_release = 0;
+  {
+    smr::ThreadHandle departing = w.r().register_thread();
+    for (int i = 0; i < kRetired; ++i) {
+      smr::Guard g(departing);
+      g.retire(w.r().alloc_node(departing, 64));
+    }
+    // Bags that aged while the thread was live may already have been
+    // batch-freed — that is the batch executor's designed behaviour.
+    // The regression is about what happens from the release on.
+    at_release = w.allocator.frees();
+  }  // departs: open bag seals, every parked bag is marked adopted
+  EXPECT_LE(w.allocator.frees() - at_release, kQuota)
+      << "the departure itself must not burst-free the backlog";
+
+  smr::ThreadHandle succ = w.r().register_thread();  // adopts the lane
+  std::uint64_t prev = w.allocator.frees();
+  for (int i = 0; i < 600 && w.allocator.frees() < kRetired; ++i) {
+    { smr::Guard g(succ); }
+    std::uint64_t now = w.allocator.frees();
+    EXPECT_LE(now - prev, kQuota)
+        << "op " << i << " freed a larger-than-quota burst";
+    prev = now;
+    { smr::Guard g(a); }
+    { smr::Guard g(b); }
+    now = w.allocator.frees();
+    // The other lanes hold no backlog; nothing may drain there.
+    EXPECT_LE(now - prev, kQuota) << "op " << i;
+    prev = now;
+  }
+  EXPECT_GE(w.allocator.frees(), static_cast<std::uint64_t>(kRetired))
+      << "the adopted backlog must fully drain through the quota";
+
+  w.r().flush_all();
+  EXPECT_EQ(w.r().stats().pending, 0u);
+  EXPECT_EQ(w.allocator.live(), 0u);
+}
+
+// Adaptive end-to-end accounting: the _adaptive variants retire/flush
+// exactly like their fixed siblings across every family.
+TEST(FreeSchedule, AdaptiveVariantsAccountExactly) {
+  for (const std::string& base : smr::experiment2_reclaimers()) {
+    World w(base + "_adaptive", small_config());
+    smr::ThreadHandle h = w.r().register_thread();
+    smr::ThreadHandle other = w.r().register_thread();
+    for (int i = 0; i < 100; ++i) {
+      {
+        smr::Guard g(h);
+        g.retire(w.r().alloc_node(h, 64));
+      }
+      { smr::Guard g(other); }
+    }
+    w.r().flush_all();
+    const smr::SmrStats st = w.r().stats();
+    EXPECT_EQ(st.retired, 100u) << base;
+    EXPECT_EQ(st.pending, 0u) << base;
+    EXPECT_EQ(w.allocator.live(), 0u) << base;
+  }
+}
+
+TEST(FreeSchedule, LaneStatsSurfaceThroughReclaimerStats) {
+  World w("debra_af", small_config(/*batch=*/8, /*drain=*/2));
+  smr::ThreadHandle h = w.r().register_thread();
+  smr::ThreadHandle other = w.r().register_thread();
+  for (int i = 0; i < 64; ++i) {
+    {
+      smr::Guard g(h);
+      g.retire(w.r().alloc_node(h, 64));
+    }
+    { smr::Guard g(other); }
+  }
+  const smr::SmrStats st = w.r().stats_with_lanes();
+  ASSERT_EQ(st.lanes.size(), w.r().slot_capacity());
+  std::uint64_t ops = 0, enqueued = 0, drained = 0, backlog = 0;
+  for (const smr::LaneStats& l : st.lanes) {
+    ops += l.ops;
+    enqueued += l.enqueued;
+    drained += l.drained;
+    backlog += l.backlog;
+  }
+  EXPECT_EQ(ops, 128u);
+  EXPECT_GT(enqueued, 0u) << "sealed bags must be counted into a lane";
+  EXPECT_EQ(enqueued - drained, backlog);
+  EXPECT_EQ(backlog, w.r().executor().backlog());
+  EXPECT_EQ(drained, w.r().executor().total_freed());
+  w.r().flush_all();
+}
+
+// ----------------------------------------------------- TSAN stress
+
+// Lane-stats counters under fire: workers churn registration and drive
+// retires through an adaptive executor while a reader thread samples
+// stats_with_lanes() and the schedule's quota. ci/check.sh runs this
+// case in the TSAN tree.
+TEST(FreeScheduleConcurrent, LaneStatsRaceFreeUnderChurn) {
+  constexpr int kWorkers = 4;
+  World w("ibr_adaptive", [] {
+    smr::SmrConfig cfg = small_config(/*batch=*/16, /*drain=*/4);
+    cfg.num_threads = kWorkers;
+    return cfg;
+  }());
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const smr::SmrStats st = w.r().stats_with_lanes();
+      smr::LaneStats busiest;
+      for (const smr::LaneStats& l : st.lanes) {
+        if (l.backlog >= busiest.backlog) busiest = l;
+      }
+      (void)w.bundle.schedule->drain_quota(busiest);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kWorkers; ++t) {
+    workers.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        smr::ThreadHandle h = w.r().register_thread();
+        for (int i = 0; i < 200; ++i) {
+          smr::Guard g(h);
+          g.retire(w.r().alloc_node(h, 64));
+        }
+      }  // deregister mid-flight: departure scans + adoption hand-offs
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  w.r().flush_all();
+  EXPECT_EQ(w.r().stats().pending, 0u);
+  EXPECT_EQ(w.r().executor().backlog(), 0u);
+  EXPECT_EQ(w.allocator.live(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,297 @@
+// JSON emitter round-trip: harness::emit_json / Table::write_json output
+// is fed through a small strict JSON parser and checked for shape (one
+// object per row, keys = headers in order), escaping (quotes, newlines,
+// control characters survive a parse), and numeric typing (cells that
+// look like JSON numbers are emitted unquoted and parse back to the
+// same value; number-ish strings like "007" stay strings).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/report.hpp"
+
+namespace {
+
+using emr::harness::Table;
+
+// ------------------------------------------------------ minimal parser
+//
+// Strict by design: exactly the grammar emit_json claims to produce —
+// an array of flat objects whose values are strings or numbers. Any
+// deviation (trailing comma, unquoted key, bad escape) fails the test.
+
+struct JsonValue {
+  enum Kind { kString, kNumber } kind = kString;
+  std::string str;   // kString: decoded value
+  double num = 0;    // kNumber: parsed value
+  std::string raw;   // kNumber: the literal as emitted
+};
+
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  bool parse(std::vector<JsonObject>* out) {
+    skip_ws();
+    if (!eat('[')) return false;
+    skip_ws();
+    if (peek() == ']') return ++pos_, finish();
+    for (;;) {
+      JsonObject obj;
+      if (!parse_object(&obj)) return false;
+      out->push_back(std::move(obj));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        skip_ws();
+        continue;
+      }
+      break;
+    }
+    if (!eat(']')) return false;
+    return finish();
+  }
+
+ private:
+  bool finish() {
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool parse_object(JsonObject* obj) {
+    skip_ws();
+    if (!eat('{')) return false;
+    skip_ws();
+    if (peek() == '}') return ++pos_, true;
+    for (;;) {
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      JsonValue v;
+      if (peek() == '"') {
+        v.kind = JsonValue::kString;
+        if (!parse_string(&v.str)) return false;
+      } else {
+        v.kind = JsonValue::kNumber;
+        if (!parse_number(&v)) return false;
+      }
+      obj->emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        skip_ws();
+        continue;
+      }
+      break;
+    }
+    return eat('}');
+  }
+
+  bool parse_string(std::string* out) {
+    if (!eat('"')) return false;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw ctrl
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= 10u + (h - 'a');
+            else if (h >= 'A' && h <= 'F') code |= 10u + (h - 'A');
+            else return false;
+          }
+          if (code > 0x7f) return false;  // emitter only escapes ASCII ctrl
+          out->push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return eat('"');
+  }
+
+  bool parse_number(JsonValue* v) {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    const bool leading_zero = peek() == '0';
+    ++pos_;
+    if (leading_zero && std::isdigit(static_cast<unsigned char>(peek()))) {
+      return false;  // 007 is not a JSON number
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    v->raw = s_.substr(start, pos_ - start);
+    v->num = std::stod(v->raw);
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<JsonObject> parse_or_die(const std::string& text) {
+  std::vector<JsonObject> rows;
+  Parser p(text);
+  EXPECT_TRUE(p.parse(&rows)) << "emit_json produced invalid JSON:\n"
+                              << text;
+  return rows;
+}
+
+// ----------------------------------------------------------------- tests
+
+TEST(Report, JsonRoundTripShapeAndTypes) {
+  Table t({"threads", "reclaimer", "Mops/s", "note"});
+  t.add_row({"4", "debra_af", "12.50", "plain"});
+  t.add_row({"-8", "token", "1e3", "0.5"});
+  t.add_row({"007", "he", "3.25", "-0"});  // 007: string; -0: number
+
+  std::ostringstream os;
+  emr::harness::emit_json(os, t);
+  const std::vector<JsonObject> rows = parse_or_die(os.str());
+
+  ASSERT_EQ(rows.size(), 3u);
+  for (const JsonObject& row : rows) {
+    ASSERT_EQ(row.size(), 4u);
+    EXPECT_EQ(row[0].first, "threads");
+    EXPECT_EQ(row[1].first, "reclaimer");
+    EXPECT_EQ(row[2].first, "Mops/s");
+    EXPECT_EQ(row[3].first, "note");
+  }
+
+  EXPECT_EQ(rows[0][0].second.kind, JsonValue::kNumber);
+  EXPECT_DOUBLE_EQ(rows[0][0].second.num, 4);
+  EXPECT_EQ(rows[0][1].second.kind, JsonValue::kString);
+  EXPECT_EQ(rows[0][1].second.str, "debra_af");
+  EXPECT_DOUBLE_EQ(rows[0][2].second.num, 12.5);
+
+  EXPECT_DOUBLE_EQ(rows[1][0].second.num, -8);
+  EXPECT_EQ(rows[1][2].second.kind, JsonValue::kNumber);
+  EXPECT_DOUBLE_EQ(rows[1][2].second.num, 1000);
+  EXPECT_EQ(rows[1][3].second.kind, JsonValue::kNumber);
+  EXPECT_DOUBLE_EQ(rows[1][3].second.num, 0.5);
+
+  // Number-lookalikes outside the JSON grammar must stay strings,
+  // while edge cases inside it (-0) stay typed.
+  EXPECT_EQ(rows[2][0].second.kind, JsonValue::kString);
+  EXPECT_EQ(rows[2][0].second.str, "007");
+  EXPECT_EQ(rows[2][3].second.kind, JsonValue::kNumber);
+  EXPECT_DOUBLE_EQ(rows[2][3].second.num, 0);
+}
+
+TEST(Report, JsonEscapesHostileCells) {
+  Table t({"name \"quoted\"", "payload"});
+  t.add_row({"back\\slash", "line\nbreak\tand\ttabs"});
+  t.add_row({"ctrl\x01char", "comma, \"quote\""});
+
+  std::ostringstream os;
+  emr::harness::emit_json(os, t);
+  const std::vector<JsonObject> rows = parse_or_die(os.str());
+
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0].first, "name \"quoted\"");
+  EXPECT_EQ(rows[0][0].second.str, "back\\slash");
+  EXPECT_EQ(rows[0][1].second.str, "line\nbreak\tand\ttabs");
+  EXPECT_EQ(rows[1][0].second.str, std::string("ctrl\x01char"));
+  EXPECT_EQ(rows[1][1].second.str, "comma, \"quote\"");
+}
+
+TEST(Report, JsonShortRowsArePaddedToHeaders) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});  // add_row pads with empty cells
+  std::ostringstream os;
+  emr::harness::emit_json(os, t);
+  const std::vector<JsonObject> rows = parse_or_die(os.str());
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 3u);
+  EXPECT_DOUBLE_EQ(rows[0][0].second.num, 1);
+  EXPECT_EQ(rows[0][1].second.kind, JsonValue::kString);
+  EXPECT_EQ(rows[0][1].second.str, "");
+  EXPECT_EQ(rows[0][2].second.str, "");
+}
+
+TEST(Report, JsonEmptyTableIsAnEmptyArray) {
+  Table t({"x"});
+  std::ostringstream os;
+  emr::harness::emit_json(os, t);
+  const std::vector<JsonObject> rows = parse_or_die(os.str());
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(Report, WriteJsonFileMatchesEmitJson) {
+  Table t({"k", "v"});
+  t.add_row({"threads", "16"});
+  const std::string path = ::testing::TempDir() + "emr_test_report.json";
+  ASSERT_TRUE(t.write_json(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream file_text;
+  file_text << in.rdbuf();
+
+  std::ostringstream os;
+  emr::harness::emit_json(os, t);
+  EXPECT_EQ(file_text.str(), os.str());
+  std::remove(path.c_str());
+}
+
+TEST(Report, WriteJsonFailsCleanlyOnBadPath) {
+  Table t({"x"});
+  t.add_row({"1"});
+  EXPECT_FALSE(t.write_json("/nonexistent-dir-emr/out.json"));
+}
+
+}  // namespace

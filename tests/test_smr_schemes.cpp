@@ -161,8 +161,10 @@ TEST(SmrFamilies, FixedTokenVariantsTakeNoSuffix) {
   smr::SmrContext ctx;
   ctx.allocator = &allocator;
   smr::SmrConfig cfg;
-  for (const char* name : {"token_naive_af", "token_naive_pool",
-                           "token_passfirst_af", "token_passfirst_pool"}) {
+  for (const char* name :
+       {"token_naive_af", "token_naive_pool", "token_naive_adaptive",
+        "token_passfirst_af", "token_passfirst_pool",
+        "token_passfirst_adaptive"}) {
     EXPECT_THROW(smr::make_reclaimer(name, ctx, cfg),
                  std::invalid_argument)
         << name;
