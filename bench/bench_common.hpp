@@ -8,8 +8,10 @@
 //   EMR_KEYRANGE - key range (paper: 2e7 for ABtree, 2e6 for DGT)
 //   EMR_BATCH    - retire batch size / scan threshold (Experiment 2: 32768)
 //   EMR_SCHEDULE - free-schedule policy override for any reclaimer
-//                  name: fixed | adaptive (default: follow the name's
-//                  suffix; see docs/FREE_SCHEDULES.md)
+//                  name: fixed | adaptive | latency (default: follow
+//                  the name's suffix; see docs/FREE_SCHEDULES.md)
+//   EMR_LATENCY_TARGET_US - p99.9 target steering the latency schedule
+//   EMR_LATENCY  - 1 = record per-op latency histograms (docs/LATENCY.md)
 //   EMR_DRAIN_MIN / EMR_DRAIN_MAX - clamp on the adaptive schedule's
 //                  per-op drain quantum
 //   EMR_POOL_CAP - pooling inventory cap per lane (default: 4 batches,
@@ -24,11 +26,13 @@
 //                  fresh thread registers every this-many ms (0 = off)
 //   EMR_OUT      - artifact directory for CSV/timeline dumps
 //
-// Binaries that parse argv (bench_ablation_churn, bench_ablation_adaptive)
-// accept `--json <path>` (or EMR_JSON): the result table is mirrored
-// as a JSON array via harness::emit_json, the format the BENCH_*.json
-// perf trajectories ingest. The helpers below are the two lines a
-// bench needs to opt in.
+// Binaries that parse argv (bench_ablation_churn,
+// bench_ablation_adaptive, bench_fig_latency) accept `--json <path>`
+// (or EMR_JSON): the result table is mirrored as a JSON array via
+// harness::emit_json, the format the committed BENCH_*.json perf
+// snapshots ingest (ci/check.sh writes BENCH_fig_latency.json at the
+// repo root). The helpers below are the two lines a bench needs to
+// opt in.
 #pragma once
 
 #include <algorithm>

@@ -31,14 +31,32 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 # while the fixed batch schedule remains the worst case.
 "$BUILD_DIR/bench_ablation_adaptive" --smoke
 
+# Tail-latency smoke: the figure behind ROADMAP item 2 — fixed-batch
+# p99.9 blows up by multiples while mops stays flat, and the _latency
+# schedule pulls the tail back inside its target band. Writes the
+# committed snapshot at the repo root (test_report parses it strictly).
+"$BUILD_DIR/bench_fig_latency" --smoke --json BENCH_fig_latency.json
+test -s BENCH_fig_latency.json
+
 # Policy-layer invariant: executors and scheme TUs ask the FreeSchedule
 # for every batching quantum; only smr/free_schedule.cpp may read the
 # raw SmrConfig batching knobs.
-if grep -nE 'cfg_?\.\s*(batch_size|af_drain_per_op)' \
+if grep -nE 'cfg_?\.\s*(batch_size|af_drain_per_op|latency_target_us)' \
     smr/free_executor.cpp smr/pooling_executor.hpp smr/ebr.cpp \
     smr/token.cpp smr/hp.cpp smr/he_ibr_wfe.cpp smr/nbr.cpp; then
   echo "ci/check.sh: executor/scheme TU reads a raw batching knob —" \
        "route it through FreeSchedule (smr/free_schedule.cpp)" >&2
+  exit 1
+fi
+
+# Same boundary for the latency feedback loop: schemes and executors
+# never touch the recorder or its percentile math — the harness records,
+# the FreeSchedule consumes on_tail_latency.
+if grep -nE 'LatencyRecorder|LatencyHistogram|latency_percentile' \
+    smr/free_executor.cpp smr/pooling_executor.hpp smr/ebr.cpp \
+    smr/token.cpp smr/hp.cpp smr/he_ibr_wfe.cpp smr/nbr.cpp; then
+  echo "ci/check.sh: scheme TU/executor reads latency counters —" \
+       "tail feedback flows only through FreeSchedule::on_tail_latency" >&2
   exit 1
 fi
 

@@ -64,4 +64,36 @@ inline std::vector<int> env_int_list(const char* name) {
   return out;
 }
 
+/// Strict variant of env_int_list for knobs where a malformed token
+/// must not be silently dropped (EMR_THREADS): same separators, but any
+/// token that is not a positive integer fails the whole parse, with the
+/// offending token copied into `bad_token`. Returns true on success;
+/// an unset or empty variable succeeds with an empty `out`.
+inline bool env_int_list_strict(const char* name, std::vector<int>* out,
+                                std::string* bad_token) {
+  out->clear();
+  const char* v = std::getenv(name);
+  if (v == nullptr) return true;
+  const char* p = v;
+  auto is_sep = [](char c) { return c == ' ' || c == ',' || c == '\t'; };
+  while (*p != '\0') {
+    while (is_sep(*p)) ++p;
+    if (*p == '\0') break;
+    char* end = nullptr;
+    const long parsed = std::strtol(p, &end, 10);
+    // A valid token is a positive integer consumed up to the next
+    // separator: "4x" and "garbage" fail on the trailing junk, "0" and
+    // "-3" on the value.
+    if (end == p || !(*end == '\0' || is_sep(*end)) || parsed <= 0) {
+      const char* tok_end = p;
+      while (*tok_end != '\0' && !is_sep(*tok_end)) ++tok_end;
+      if (bad_token != nullptr) bad_token->assign(p, tok_end);
+      return false;
+    }
+    out->push_back(static_cast<int>(parsed));
+    p = end;
+  }
+  return true;
+}
+
 }  // namespace emr

@@ -1,0 +1,61 @@
+#include "core/latency.hpp"
+
+#include <algorithm>
+
+namespace emr {
+
+double latency_percentile(const LatencyHistogram& h, double q) {
+  if (h.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(h.count);
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kLatencyBuckets; ++b) {
+    const std::uint64_t c = h.buckets[static_cast<std::size_t>(b)];
+    if (c == 0) continue;
+    if (static_cast<double>(cum + c) >= rank) {
+      if (b == 0) return 0.0;  // bucket 0 is exactly {0 ns}
+      const double lo = static_cast<double>(latency_bucket_floor(b));
+      // Upper edge of the bucket, tightened by the exact max when it
+      // falls inside this bucket (always true for the top nonempty one).
+      double hi = static_cast<double>(std::uint64_t{1} << b);
+      const double mx = static_cast<double>(h.max_ns);
+      if (mx >= lo && mx < hi) hi = mx;
+      const double frac =
+          std::clamp((rank - static_cast<double>(cum)) /
+                         static_cast<double>(c),
+                     0.0, 1.0);
+      return std::min(lo + frac * (hi - lo), mx);
+    }
+    cum += c;
+  }
+  return static_cast<double>(h.max_ns);
+}
+
+void LatencyRecorder::reset(int lanes, bool enabled) {
+  n_ = lanes < 1 ? 1 : lanes;
+  enabled_ = enabled;
+  // Value-initialized: every bucket counter and max starts at zero.
+  lanes_ = std::make_unique<Lane[]>(static_cast<std::size_t>(n_));
+}
+
+LatencyHistogram LatencyRecorder::merged() const {
+  LatencyHistogram out;
+  for (int l = 0; l < lane_count(); ++l) out.add(lane_histogram(l));
+  return out;
+}
+
+LatencyHistogram LatencyRecorder::lane_histogram(int lane) const {
+  LatencyHistogram out;
+  if (!lanes_ || lane < 0 || lane >= n_) return out;
+  const Lane& l = lanes_[static_cast<std::size_t>(lane)];
+  for (int b = 0; b < kLatencyBuckets; ++b) {
+    const std::uint64_t c =
+        l.counts[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+    out.buckets[static_cast<std::size_t>(b)] = c;
+    out.count += c;
+  }
+  out.max_ns = l.max_ns.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace emr

@@ -14,6 +14,11 @@
 namespace emr::harness {
 
 std::string fixed(double v, int precision) {
+  // Non-finite values print as "nan"/"inf", which is_json_number
+  // rejects, so emit_json writes them as quoted strings and the
+  // BENCH_*.json artifacts stay parseable even when a degenerate
+  // measurement slips through.
+  if (!std::isfinite(v)) return std::isnan(v) ? "nan" : (v > 0 ? "inf" : "-inf");
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", std::max(precision, 0), v);
   return buf;

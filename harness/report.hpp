@@ -9,6 +9,8 @@
 namespace emr::harness {
 
 /// Fixed-point formatting, e.g. fixed(3.14159, 2) == "3.14".
+/// Non-finite inputs format as "nan"/"inf"/"-inf" — outside the JSON
+/// number grammar, so emit_json quotes them and artifacts stay valid.
 std::string fixed(double v, int precision);
 
 /// Compact magnitudes: 950 -> "950", 1.2e6 -> "1.20M", 3.4e9 -> "3.40G".

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -89,6 +90,25 @@ void apply_env_overrides(TrialConfig& cfg) {
     }
     cfg.smr.extra_slots = static_cast<std::size_t>(v);
   }
+  if (env_has("EMR_LATENCY_TARGET_US")) {
+    const long long v = env_i64("EMR_LATENCY_TARGET_US", -1);
+    if (v < 1) {
+      throw std::invalid_argument(
+          "invalid EMR_LATENCY_TARGET_US: '" +
+          env_str("EMR_LATENCY_TARGET_US", "") +
+          "' (must be >= 1: the latency schedule's p99.9 target in "
+          "microseconds)");
+    }
+    cfg.smr.latency_target_us = static_cast<std::uint64_t>(v);
+  }
+  if (env_has("EMR_LATENCY")) {
+    cfg.enable_latency = env_i64("EMR_LATENCY", 0) != 0;
+  }
+  if (env_has("EMR_SAMPLE_MS")) {
+    // Unclamped like EMR_CHURN_MS: validate_config rejects < 1.
+    cfg.schedule_sample_ms =
+        static_cast<int>(env_i64("EMR_SAMPLE_MS", cfg.schedule_sample_ms));
+  }
   if (env_has("EMR_HP_SLOTS")) {
     cfg.smr.hp_slots = static_cast<std::size_t>(std::max<std::uint64_t>(
         env_u64("EMR_HP_SLOTS", cfg.smr.hp_slots), 1));
@@ -133,8 +153,19 @@ TrialConfig config_from_env() {
 }
 
 std::vector<int> thread_sweep_from_env(std::vector<int> def) {
-  std::vector<int> parsed = env_int_list("EMR_THREADS");
-  if (parsed.empty()) return def;
+  std::vector<int> parsed;
+  std::string bad;
+  if (!env_int_list_strict("EMR_THREADS", &parsed, &bad)) {
+    // Never shrink a sweep silently: a typo'd EMR_THREADS would
+    // otherwise drop columns (or empty the sweep entirely) and the
+    // bench would "pass" on the wrong experiment.
+    std::fprintf(stderr,
+                 "harness: malformed EMR_THREADS token '%s'; "
+                 "ignoring the variable and running the default sweep\n",
+                 bad.c_str());
+    return def;
+  }
+  if (parsed.empty()) return def;  // unset or empty
   for (int& n : parsed) n = std::clamp(n, 1, 1024);
   return parsed;
 }
@@ -169,6 +200,24 @@ void validate_config(const TrialConfig& cfg) {
         "invalid op mix: insert_frac=" + std::to_string(cfg.insert_frac) +
         " erase_frac=" + std::to_string(cfg.erase_frac) +
         " (each must be in [0,1] and sum to at most 1)");
+  }
+  if (cfg.measure_ms <= 0) {
+    throw std::invalid_argument(
+        "invalid measure_ms: " + std::to_string(cfg.measure_ms) +
+        " (valid range: >= 1 millisecond — a zero-length window divides "
+        "by nothing and reports garbage)");
+  }
+  if (cfg.trials <= 0) {
+    throw std::invalid_argument(
+        "invalid trials: " + std::to_string(cfg.trials) +
+        " (valid range: >= 1)");
+  }
+  if (cfg.schedule_sample_ms <= 0) {
+    throw std::invalid_argument(
+        "invalid schedule_sample_ms: " +
+        std::to_string(cfg.schedule_sample_ms) +
+        " (valid range: >= 1 millisecond — the schedule/latency sampler "
+        "period)");
   }
   if (cfg.churn_interval_ms < 0) {
     throw std::invalid_argument(
@@ -283,6 +332,12 @@ TrialResult Trial::run() {
   // any slot, not just the first nthreads.
   timeline_.reset(lanes, 0, cfg_.timeline_min_duration_ns, false);
   garbage_.reset(false);
+  // The latency recorder arms before the workers spawn (its lane table
+  // is allocated off the hot path); workers only record once `go` opens
+  // the measured window. A latency-feedback schedule forces it on —
+  // the controller is open-loop without the signal.
+  const bool want_feedback = bundle_.schedule->wants_latency_feedback();
+  latency_.reset(lanes, cfg_.enable_latency || want_feedback);
   prefill(*set_, *bundle_.reclaimer, cfg_);
 
   std::atomic<bool> go{false};
@@ -312,11 +367,16 @@ TrialResult Trial::run() {
                  cfg_.insert_frac, cfg_.erase_frac, cfg_.keyrange);
     ds::ConcurrentSet& set = *set_;
     std::atomic<bool>& retire = retire_worker[static_cast<std::size_t>(widx)];
+    // Hoisted: the recorder's armed state is fixed for the whole trial,
+    // so the disabled path costs one register-held branch per op.
+    const bool record_latency = latency_.enabled();
+    const int lane = handle.slot();
     while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
     std::uint64_t done = 0;
     while (!stop.load(std::memory_order_relaxed) &&
            !retire.load(std::memory_order_relaxed)) {
       const Op op = ops.next();
+      const std::uint64_t op_t0 = record_latency ? now_ns() : 0;
       // Each ds operation opens its own smr::Guard (begin_op/end_op).
       switch (op.kind) {
         case Op::kInsert:
@@ -329,6 +389,7 @@ TrialResult Trial::run() {
           set.contains(handle, op.key);
           break;
       }
+      if (record_latency) latency_.record(lane, now_ns() - op_t0);
       ++done;
     }
     counts[static_cast<std::size_t>(widx)].fetch_add(
@@ -349,29 +410,45 @@ TrialResult Trial::run() {
   garbage_.reset(cfg_.enable_garbage);
 
   // Free-schedule sampler: a backlog / drain-quantum / population
-  // timeline across the measured window. Lane counters are atomics and
-  // drain_quota is a read-only policy query, so sampling races nothing.
+  // timeline across the measured window, doubling as the tail-latency
+  // feedback pump for latency-steered schedules. Lane counters are
+  // atomics and drain_quota is a read-only policy query, so sampling
+  // races nothing; the latency recorder's counters are relaxed atomics,
+  // so a mid-trial merge is stale-but-never-torn.
   std::vector<ScheduleSample> schedule_trace;
   std::thread sampler;
-  if (cfg_.enable_schedule_trace) {
-    const int sample_ms = std::max(cfg_.schedule_sample_ms, 1);
+  if (cfg_.enable_schedule_trace || want_feedback) {
+    const int sample_ms = cfg_.schedule_sample_ms;  // validated >= 1
     sampler = std::thread([&, sample_ms] {
       smr::FreeExecutor& ex = bundle_.reclaimer->executor();
-      const smr::FreeSchedule& sched = *bundle_.schedule;
+      smr::FreeSchedule& sched = *bundle_.schedule;
       while (!stop.load(std::memory_order_relaxed)) {
-        std::uint64_t total = 0;
-        smr::LaneStats busiest;
-        for (std::size_t i = 0; i < ex.lane_count(); ++i) {
-          const smr::LaneStats ls = ex.lane_stats(static_cast<int>(i));
-          total += ls.backlog;
-          if (ls.backlog >= busiest.backlog) busiest = ls;
+        if (want_feedback) {
+          // The window-cumulative p99.9: deliberately conservative —
+          // once a drain burst has polluted the tail the controller
+          // stays backed off, instead of oscillating on a noisy
+          // per-beat estimate (docs/LATENCY.md).
+          const LatencyHistogram h = latency_.merged();
+          if (h.count > 0) {
+            sched.on_tail_latency(
+                static_cast<std::uint64_t>(latency_percentile(h, 0.999)));
+          }
         }
-        ScheduleSample s;
-        s.t_ms = (now_ns() - t0) / 1'000'000;
-        s.backlog = total;
-        s.drain_quota = sched.drain_quota(busiest);
-        s.population = bundle_.reclaimer->active_slots();
-        schedule_trace.push_back(s);
+        if (cfg_.enable_schedule_trace) {
+          std::uint64_t total = 0;
+          smr::LaneStats busiest;
+          for (std::size_t i = 0; i < ex.lane_count(); ++i) {
+            const smr::LaneStats ls = ex.lane_stats(static_cast<int>(i));
+            total += ls.backlog;
+            if (ls.backlog >= busiest.backlog) busiest = ls;
+          }
+          ScheduleSample s;
+          s.t_ms = (now_ns() - t0) / 1'000'000;
+          s.backlog = total;
+          s.drain_quota = sched.drain_quota(busiest);
+          s.population = bundle_.reclaimer->active_slots();
+          schedule_trace.push_back(s);
+        }
         std::this_thread::sleep_for(std::chrono::milliseconds(sample_ms));
       }
     });
@@ -436,8 +513,19 @@ TrialResult Trial::run() {
     r.max_drain_quota = std::max(r.max_drain_quota, s.drain_quota);
   }
   r.schedule_trace = std::move(schedule_trace);
+  // Degenerate-window guard: the wall clock is floored at 1 ns so mops
+  // (and the per-thread-time percentages below) can never divide by
+  // zero into inf/NaN — which emit_json would then write as invalid
+  // JSON (report.cpp quotes non-finite cells as a second line of
+  // defense).
   r.wall_ns = std::max<std::uint64_t>(t1 - t0, 1);
   r.mops = static_cast<double>(r.ops) * 1e3 / static_cast<double>(r.wall_ns);
+  const LatencyHistogram lat = latency_.merged();
+  r.lat_ops = lat.count;
+  r.lat_p50_ns = latency_percentile(lat, 0.50);
+  r.lat_p99_ns = latency_percentile(lat, 0.99);
+  r.lat_p999_ns = latency_percentile(lat, 0.999);
+  r.lat_max_ns = lat.max_ns;
   r.peak_bytes_mapped = alloc_after.peak_bytes_mapped;
   r.smr_stats = smr_after;
   r.epochs_in_window =

@@ -12,6 +12,7 @@
 
 #include "alloc/allocator.hpp"
 #include "core/garbage.hpp"
+#include "core/latency.hpp"
 #include "core/rng.hpp"
 #include "core/timeline.hpp"
 #include "smr/reclaimer.hpp"
@@ -48,6 +49,12 @@ struct TrialConfig {
   /// every schedule_sample_ms, into TrialResult::schedule_trace.
   bool enable_schedule_trace = false;
   int schedule_sample_ms = 2;
+  /// Per-op latency measurement: workers clock every operation into a
+  /// per-lane log2 histogram (core/latency.hpp) and TrialResult carries
+  /// the merged p50/p99/p99.9/max. Forced on when the free schedule
+  /// wants tail-latency feedback (*_latency names), whose controller
+  /// the sampler thread then pumps every schedule_sample_ms.
+  bool enable_latency = false;
   std::uint64_t timeline_min_duration_ns = 10'000;
   smr::SmrConfig smr;
   alloc::AllocConfig alloc;
@@ -58,16 +65,21 @@ struct TrialConfig {
 void apply_env_overrides(TrialConfig& cfg);
 
 /// Fails fast on an inconsistent config: op fractions outside [0, 1] or
-/// summing past 1, a negative churn_interval_ms or churn on a single
-/// thread, and unknown ds / reclaimer / allocator names each throw
-/// std::invalid_argument naming the valid ranges/choices instead of
-/// silently defaulting. Trial's constructor runs this on every config.
+/// summing past 1, a non-positive measure_ms / trials /
+/// schedule_sample_ms, a negative churn_interval_ms or churn on a
+/// single thread, and unknown ds / reclaimer / allocator names each
+/// throw std::invalid_argument naming the valid ranges/choices instead
+/// of silently defaulting. Trial's constructor runs this on every
+/// config.
 void validate_config(const TrialConfig& cfg);
 
 /// A TrialConfig built from defaults + every EMR_* override.
 TrialConfig config_from_env();
 
-/// EMR_THREADS ("1 2 4" or "6,12,24") or `def` when unset/invalid.
+/// EMR_THREADS ("1 2 4" or "6,12,24"), or `def` when unset or empty.
+/// A malformed token ("garbage", "4x", "0", "-3") never shrinks the
+/// sweep silently: the whole variable is rejected with a warning to
+/// stderr naming the bad token, and `def` runs instead.
 std::vector<int> thread_sweep_from_env(std::vector<int> def);
 
 /// Node size in bytes per data structure, derived from sizeof the real
@@ -132,6 +144,15 @@ struct TrialResult {
   std::vector<ScheduleSample> schedule_trace;
   std::uint64_t peak_backlog = 0;
   std::uint64_t max_drain_quota = 0;
+  /// Per-op latency over the measured window (zeros unless
+  /// enable_latency or a latency-feedback schedule armed the recorder).
+  /// Percentiles are log2-bucket interpolations clamped to the exact
+  /// max; see docs/LATENCY.md for the error model.
+  std::uint64_t lat_ops = 0;  // recorded samples
+  double lat_p50_ns = 0;
+  double lat_p99_ns = 0;
+  double lat_p999_ns = 0;
+  std::uint64_t lat_max_ns = 0;
 };
 
 struct AggregateResult {
@@ -160,6 +181,7 @@ class Trial {
 
   Timeline& timeline() { return timeline_; }
   GarbageCensus& garbage() { return garbage_; }
+  LatencyRecorder& latency() { return latency_; }
   smr::Reclaimer& reclaimer() { return *bundle_.reclaimer; }
   smr::FreeSchedule& schedule() { return *bundle_.schedule; }
   alloc::Allocator& allocator() { return *allocator_; }
@@ -170,6 +192,7 @@ class Trial {
   TrialConfig cfg_;
   Timeline timeline_;
   GarbageCensus garbage_;
+  LatencyRecorder latency_;
   std::unique_ptr<alloc::Allocator> allocator_;
   smr::ReclaimerBundle bundle_;
   // Declared after the bundle: the structure's destructor returns its

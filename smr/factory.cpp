@@ -52,6 +52,9 @@ std::string reclaimer_base_name(const std::string& name) {
     if (ends_with(name, "_adaptive")) {
       return name.substr(0, name.size() - 9);
     }
+    if (ends_with(name, "_latency")) {
+      return name.substr(0, name.size() - 8);
+    }
   }
   return name;
 }
@@ -81,6 +84,11 @@ ReclaimerBundle make_reclaimer(const std::string& name, const SmrContext& ctx,
     // seal/scan thresholds come from the population-aware controller.
     exec = ExecKind::kAmortized;
     sched = ScheduleKind::kAdaptive;
+  } else if (suffix == "_latency") {
+    // Same amortizing executor, quantum steered by the observed per-op
+    // tail (the driver pumps p99.9 through FreeSchedule::on_tail_latency).
+    exec = ExecKind::kAmortized;
+    sched = ScheduleKind::kLatency;
   }
 
   ReclaimerBundle bundle;
@@ -100,9 +108,10 @@ ReclaimerBundle make_reclaimer(const std::string& name, const SmrContext& ctx,
     if (suffix.empty()) {
       topt = {"token", TokenPolicy::kPeriodic};
     } else {
-      topt = {suffix == "_af"        ? "token_af"
-              : suffix == "_pool"    ? "token_pool"
-                                     : "token_adaptive",
+      topt = {suffix == "_af"         ? "token_af"
+              : suffix == "_pool"     ? "token_pool"
+              : suffix == "_adaptive" ? "token_adaptive"
+                                      : "token_latency",
               TokenPolicy::kHandOff};
     }
   } else {
@@ -174,6 +183,7 @@ const std::vector<std::string>& all_factory_names() {
         names.push_back(base + "_af");
         names.push_back(base + "_pool");
         names.push_back(base + "_adaptive");
+        names.push_back(base + "_latency");
       }
     }
     return names;

@@ -67,6 +67,84 @@ TEST(Env, ThreadListParsing) {
             (std::vector<int>{3}));
 }
 
+TEST(Env, ThreadListRejectsMalformedTokensWholesale) {
+  // Regression: a typo'd EMR_THREADS used to silently drop the bad
+  // tokens and run a shrunken sweep. Any malformed token now rejects
+  // the whole variable (warning to stderr) and the default sweep runs.
+  EnvGuard env;
+
+  env.set("EMR_THREADS", "4 garbage 8");  // good tokens must not survive
+  EXPECT_EQ(emr::harness::thread_sweep_from_env({1, 2}),
+            (std::vector<int>{1, 2}));
+
+  env.set("EMR_THREADS", "4x");  // trailing junk on a number
+  EXPECT_EQ(emr::harness::thread_sweep_from_env({5}),
+            (std::vector<int>{5}));
+
+  env.set("EMR_THREADS", "0");  // zero threads is not a sweep column
+  EXPECT_EQ(emr::harness::thread_sweep_from_env({5}),
+            (std::vector<int>{5}));
+
+  env.set("EMR_THREADS", "-3,8");
+  EXPECT_EQ(emr::harness::thread_sweep_from_env({5}),
+            (std::vector<int>{5}));
+
+  env.set("EMR_THREADS", "");  // present but empty: treated as unset
+  EXPECT_EQ(emr::harness::thread_sweep_from_env({7}),
+            (std::vector<int>{7}));
+
+  // Both separators still parse, mixed and with stray whitespace.
+  env.set("EMR_THREADS", " 2,  4 8,");
+  EXPECT_EQ(emr::harness::thread_sweep_from_env({5}),
+            (std::vector<int>{2, 4, 8}));
+}
+
+TEST(Env, IntListStrictReportsTheBadToken) {
+  EnvGuard env;
+  std::vector<int> out;
+  std::string bad;
+
+  env.unset("EMR_TEST_LIST");
+  EXPECT_TRUE(emr::env_int_list_strict("EMR_TEST_LIST", &out, &bad));
+  EXPECT_TRUE(out.empty());
+
+  env.set("EMR_TEST_LIST", "6,12,24");
+  EXPECT_TRUE(emr::env_int_list_strict("EMR_TEST_LIST", &out, &bad));
+  EXPECT_EQ(out, (std::vector<int>{6, 12, 24}));
+
+  env.set("EMR_TEST_LIST", "6 nope 24");
+  EXPECT_FALSE(emr::env_int_list_strict("EMR_TEST_LIST", &out, &bad));
+  EXPECT_EQ(bad, "nope");
+
+  env.set("EMR_TEST_LIST", "6 -12 24");
+  EXPECT_FALSE(emr::env_int_list_strict("EMR_TEST_LIST", &out, &bad));
+  EXPECT_EQ(bad, "-12");
+
+  env.set("EMR_TEST_LIST", "6 12x 24");
+  EXPECT_FALSE(emr::env_int_list_strict("EMR_TEST_LIST", &out, &bad));
+  EXPECT_EQ(bad, "12x");
+}
+
+TEST(Env, LatencyTargetOverrideValidates) {
+  EnvGuard env;
+  env.unset("EMR_LATENCY_TARGET_US");
+  harness::TrialConfig cfg;
+  cfg.smr.latency_target_us = 250;
+  harness::apply_env_overrides(cfg);
+  EXPECT_EQ(cfg.smr.latency_target_us, 250u);  // silent env leaves it
+
+  env.set("EMR_LATENCY_TARGET_US", "50");
+  harness::apply_env_overrides(cfg);
+  EXPECT_EQ(cfg.smr.latency_target_us, 50u);
+
+  env.set("EMR_LATENCY_TARGET_US", "0");
+  EXPECT_THROW(harness::apply_env_overrides(cfg), std::invalid_argument);
+  env.set("EMR_LATENCY_TARGET_US", "-9");
+  EXPECT_THROW(harness::apply_env_overrides(cfg), std::invalid_argument);
+  env.set("EMR_LATENCY_TARGET_US", "junk");
+  EXPECT_THROW(harness::apply_env_overrides(cfg), std::invalid_argument);
+}
+
 TEST(Env, OverridePrecedenceBatchAndPenalty) {
   EnvGuard env;
   env.unset("EMR_BATCH");

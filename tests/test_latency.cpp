@@ -1,0 +1,212 @@
+// The per-op latency recorder (core/latency.hpp): log2 bucket
+// boundaries at exact powers of two, per-lane recording and merging,
+// interpolated percentile semantics (monotone in q, clamped to the
+// exact max, within one bucket of the truth), and the adversarial
+// shape the merge must not wash out — one lane holding all the tail
+// mass.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/latency.hpp"
+
+namespace {
+
+using emr::kLatencyBuckets;
+using emr::latency_bucket;
+using emr::latency_bucket_floor;
+using emr::latency_percentile;
+using emr::LatencyHistogram;
+using emr::LatencyRecorder;
+
+TEST(LatencyBucket, BoundariesAtPowersOfTwo) {
+  EXPECT_EQ(latency_bucket(0), 0);
+  EXPECT_EQ(latency_bucket(1), 1);
+  EXPECT_EQ(latency_bucket(2), 2);
+  EXPECT_EQ(latency_bucket(3), 2);
+  EXPECT_EQ(latency_bucket(4), 3);
+  // Every power of two opens a new bucket; its predecessor closes one.
+  for (int k = 1; k < 62; ++k) {
+    const std::uint64_t p = std::uint64_t{1} << k;
+    EXPECT_EQ(latency_bucket(p), k + 1) << "2^" << k;
+    EXPECT_EQ(latency_bucket(p - 1), k) << "2^" << k << " - 1";
+  }
+  // The top bucket absorbs everything from 2^62 up, including max.
+  EXPECT_EQ(latency_bucket(std::uint64_t{1} << 62), kLatencyBuckets - 1);
+  EXPECT_EQ(latency_bucket(~std::uint64_t{0}), kLatencyBuckets - 1);
+}
+
+TEST(LatencyBucket, FloorRoundTrips) {
+  EXPECT_EQ(latency_bucket_floor(0), 0u);
+  for (int b = 1; b < kLatencyBuckets; ++b) {
+    const std::uint64_t lo = latency_bucket_floor(b);
+    EXPECT_EQ(latency_bucket(lo), b) << "floor of bucket " << b;
+    if (b > 1) {
+      EXPECT_EQ(latency_bucket(lo - 1), b - 1);
+    }
+  }
+}
+
+TEST(LatencyRecorder, RecordsAndMergesPerLane) {
+  LatencyRecorder rec;
+  rec.reset(4, /*enabled=*/true);
+  ASSERT_TRUE(rec.enabled());
+  ASSERT_EQ(rec.lane_count(), 4);
+
+  rec.record(0, 100);  // bucket 7: [64, 128)
+  rec.record(0, 100);
+  rec.record(1, 100);
+  rec.record(2, 5000);  // bucket 13: [4096, 8192)
+  rec.record(3, 0);     // bucket 0
+
+  const LatencyHistogram lane0 = rec.lane_histogram(0);
+  EXPECT_EQ(lane0.count, 2u);
+  EXPECT_EQ(lane0.buckets[latency_bucket(100)], 2u);
+  EXPECT_EQ(lane0.max_ns, 100u);
+
+  const LatencyHistogram all = rec.merged();
+  EXPECT_EQ(all.count, 5u);
+  EXPECT_EQ(all.buckets[latency_bucket(100)], 3u);
+  EXPECT_EQ(all.buckets[latency_bucket(5000)], 1u);
+  EXPECT_EQ(all.buckets[0], 1u);
+  EXPECT_EQ(all.max_ns, 5000u);
+
+  // Out-of-range lanes fold onto lane 0 instead of dropping samples.
+  rec.record(99, 7);
+  rec.record(-1, 7);
+  EXPECT_EQ(rec.merged().count, 7u);
+  EXPECT_EQ(rec.lane_histogram(0).count, 4u);
+}
+
+TEST(LatencyRecorder, DisabledRecorderDropsEverything) {
+  LatencyRecorder rec;
+  rec.reset(2, /*enabled=*/false);
+  EXPECT_FALSE(rec.enabled());
+  rec.record(0, 123);
+  rec.record(1, 456);
+  EXPECT_EQ(rec.merged().count, 0u);
+}
+
+TEST(LatencyRecorder, ResetClearsPriorSamples) {
+  LatencyRecorder rec;
+  rec.reset(2, true);
+  rec.record(0, 64);
+  ASSERT_EQ(rec.merged().count, 1u);
+  rec.reset(2, true);
+  EXPECT_EQ(rec.merged().count, 0u);
+  EXPECT_EQ(rec.merged().max_ns, 0u);
+}
+
+TEST(LatencyPercentile, EmptyHistogramIsZero) {
+  const LatencyHistogram h;
+  EXPECT_EQ(latency_percentile(h, 0.5), 0.0);
+  EXPECT_EQ(latency_percentile(h, 0.999), 0.0);
+}
+
+TEST(LatencyPercentile, InterpolatesWithinTheBucket) {
+  // 1000 identical samples of 100 ns live in bucket [64, 128), tightened
+  // by the exact max to [64, 100]. Every quantile must stay inside that
+  // bucket (the log2 resolution bound), be monotone in q, and the
+  // extreme quantile must reach the exact max.
+  LatencyRecorder rec;
+  rec.reset(1, true);
+  for (int i = 0; i < 1000; ++i) rec.record(0, 100);
+  const LatencyHistogram h = rec.merged();
+
+  const double p50 = latency_percentile(h, 0.50);
+  const double p99 = latency_percentile(h, 0.99);
+  const double p100 = latency_percentile(h, 1.0);
+  EXPECT_GE(p50, 64.0);
+  EXPECT_LE(p50, 100.0);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p100);
+  EXPECT_DOUBLE_EQ(p100, 100.0);  // clamped to the exact max
+}
+
+TEST(LatencyPercentile, SplitsMassAcrossBuckets) {
+  // Half the mass at ~10 ns, half at ~1000 ns: low quantiles must read
+  // from the low bucket, high quantiles from the high one.
+  LatencyRecorder rec;
+  rec.reset(1, true);
+  for (int i = 0; i < 500; ++i) rec.record(0, 10);    // bucket [8, 16)
+  for (int i = 0; i < 500; ++i) rec.record(0, 1000);  // bucket [512, 1024)
+  const LatencyHistogram h = rec.merged();
+
+  const double p25 = latency_percentile(h, 0.25);
+  const double p75 = latency_percentile(h, 0.75);
+  EXPECT_GE(p25, 8.0);
+  EXPECT_LE(p25, 16.0);
+  EXPECT_GE(p75, 512.0);
+  EXPECT_LE(p75, 1000.0);
+  EXPECT_EQ(h.max_ns, 1000u);
+}
+
+TEST(LatencyPercentile, MonotoneInQ) {
+  LatencyRecorder rec;
+  rec.reset(1, true);
+  std::uint64_t v = 1;
+  for (int i = 0; i < 2000; ++i) {
+    rec.record(0, v);
+    v = v * 1664525 + 1013904223;  // LCG: samples across many buckets
+    v &= (std::uint64_t{1} << 30) - 1;
+  }
+  const LatencyHistogram h = rec.merged();
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double p = latency_percentile(h, q);
+    EXPECT_GE(p, prev) << "q=" << q;
+    prev = p;
+  }
+  EXPECT_LE(prev, static_cast<double>(h.max_ns));
+}
+
+TEST(LatencyPercentile, OneLaneHoldsAllTheTailMass) {
+  // Seven lanes run fast ops; the eighth eats every slow drain (the
+  // shape a whole-bag free produces: one unlucky lane pays). The merged
+  // p99.9 must surface the slow lane's bucket even though 98% of the
+  // mass is fast, and the fast-only quantiles must not move.
+  LatencyRecorder rec;
+  rec.reset(8, true);
+  for (int lane = 0; lane < 7; ++lane) {
+    for (int i = 0; i < 1400; ++i) rec.record(lane, 1000);  // 1 us
+  }
+  for (int i = 0; i < 200; ++i) rec.record(7, 10'000'000);  // 10 ms
+  const LatencyHistogram h = rec.merged();
+  ASSERT_EQ(h.count, 9800u + 200u);
+
+  const double p50 = latency_percentile(h, 0.50);
+  EXPECT_GE(p50, 512.0);  // fast bucket [512, 1024]
+  EXPECT_LE(p50, 1024.0);
+
+  // Tail mass is 2%, so p99.9 must land in the slow bucket:
+  // [2^23, 10ms] after the max clamp.
+  const double p999 = latency_percentile(h, 0.999);
+  EXPECT_GE(p999, static_cast<double>(latency_bucket_floor(
+                      latency_bucket(10'000'000))));
+  EXPECT_LE(p999, 10'000'000.0);
+  EXPECT_EQ(h.max_ns, 10'000'000u);
+
+  // A fast-lane-only histogram never sees the tail.
+  LatencyHistogram fast;
+  for (int lane = 0; lane < 7; ++lane) fast.add(rec.lane_histogram(lane));
+  EXPECT_LE(latency_percentile(fast, 0.999), 1024.0);
+}
+
+TEST(LatencyHistogram, AddAccumulates) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.buckets[3] = 5;
+  a.count = 5;
+  a.max_ns = 7;
+  b.buckets[3] = 2;
+  b.buckets[10] = 1;
+  b.count = 3;
+  b.max_ns = 900;
+  a.add(b);
+  EXPECT_EQ(a.buckets[3], 7u);
+  EXPECT_EQ(a.buckets[10], 1u);
+  EXPECT_EQ(a.count, 8u);
+  EXPECT_EQ(a.max_ns, 900u);
+}
+
+}  // namespace

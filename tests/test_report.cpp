@@ -9,6 +9,7 @@
 #include <cctype>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -292,6 +293,72 @@ TEST(Report, WriteJsonFailsCleanlyOnBadPath) {
   Table t({"x"});
   t.add_row({"1"});
   EXPECT_FALSE(t.write_json("/nonexistent-dir-emr/out.json"));
+}
+
+// A degenerate measurement window used to print "inf"/"nan" straight
+// into the numeric column and break the artifact. fixed() now maps
+// non-finite values to the words, which fall outside the JSON number
+// grammar and therefore get quoted — the file stays parseable.
+TEST(Report, NonFiniteCellsStayParseableStrings) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(emr::harness::fixed(inf, 2), "inf");
+  EXPECT_EQ(emr::harness::fixed(-inf, 3), "-inf");
+  EXPECT_EQ(emr::harness::fixed(nan, 1), "nan");
+
+  Table t({"mops", "p999_us"});
+  t.add_row({emr::harness::fixed(inf, 2), emr::harness::fixed(nan, 2)});
+  t.add_row({emr::harness::fixed(1.5, 2), emr::harness::fixed(-inf, 2)});
+
+  std::ostringstream os;
+  emr::harness::emit_json(os, t);
+  const std::vector<JsonObject> rows = parse_or_die(os.str());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0].second.kind, JsonValue::kString);
+  EXPECT_EQ(rows[0][0].second.str, "inf");
+  EXPECT_EQ(rows[0][1].second.kind, JsonValue::kString);
+  EXPECT_EQ(rows[0][1].second.str, "nan");
+  EXPECT_EQ(rows[1][0].second.kind, JsonValue::kNumber);
+  EXPECT_DOUBLE_EQ(rows[1][0].second.num, 1.5);
+  EXPECT_EQ(rows[1][1].second.str, "-inf");
+}
+
+// The committed snapshot at the repo root must parse with this same
+// strict grammar and carry the columns the latency figure promises,
+// numerically typed. EMR_SOURCE_DIR comes from CMake.
+TEST(Report, CommittedLatencySnapshotParses) {
+  const std::string path =
+      std::string(EMR_SOURCE_DIR) + "/BENCH_fig_latency.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing committed snapshot: " << path;
+  std::stringstream text;
+  text << in.rdbuf();
+  const std::vector<JsonObject> rows = parse_or_die(text.str());
+  ASSERT_GE(rows.size(), 4u) << "one row per schedule at minimum";
+
+  const char* const kNumeric[] = {"threads", "mops",   "p50_us",
+                                  "p99_us",  "p999_us", "max_us",
+                                  "ops",     "target_us"};
+  const char* const kString[] = {"reclaimer", "schedule"};
+  for (const JsonObject& row : rows) {
+    auto find = [&](const std::string& key) -> const JsonValue* {
+      for (const auto& [k, v] : row) {
+        if (k == key) return &v;
+      }
+      return nullptr;
+    };
+    for (const char* key : kNumeric) {
+      const JsonValue* v = find(key);
+      ASSERT_NE(v, nullptr) << key;
+      EXPECT_EQ(v->kind, JsonValue::kNumber) << key << " = " << v->str;
+    }
+    for (const char* key : kString) {
+      const JsonValue* v = find(key);
+      ASSERT_NE(v, nullptr) << key;
+      EXPECT_EQ(v->kind, JsonValue::kString) << key;
+      EXPECT_FALSE(v->str.empty()) << key;
+    }
+  }
 }
 
 }  // namespace

@@ -129,6 +129,22 @@ TEST(TrialTest, InvalidConfigsFailFastWithValidNames) {
               std::string::npos)
         << "error should name the valid range, got: " << e.what();
   }
+
+  // Degenerate window/trial knobs used to slide through and produce a
+  // zero-length measurement (mops = ops / 0). They fail fast now.
+  cfg = tiny_config();
+  cfg.measure_ms = 0;
+  expect_throw_listing(cfg, ">= 1 millisecond");
+  cfg.measure_ms = -10;
+  expect_throw_listing(cfg, ">= 1 millisecond");
+
+  cfg = tiny_config();
+  cfg.trials = 0;
+  expect_throw_listing(cfg, ">= 1");
+
+  cfg = tiny_config();
+  cfg.schedule_sample_ms = 0;
+  expect_throw_listing(cfg, ">= 1 millisecond");
 }
 
 // The churn mode the ThreadHandle API unlocks: workers deregister and
@@ -197,6 +213,37 @@ TEST(TrialTest, TimelineRecordsBatchFrees) {
   const std::string ascii =
       trial.timeline().render_ascii(EventKind::kBatchFree, 4, 60);
   EXPECT_FALSE(ascii.empty());
+}
+
+TEST(TrialTest, LatencyRecorderSurfacesOrderedPercentiles) {
+  TrialConfig cfg = tiny_config();
+  cfg.reclaimer = "debra_af";
+  cfg.measure_ms = 50;
+  cfg.enable_latency = true;
+  harness::Trial trial(cfg);
+  const harness::TrialResult r = trial.run();
+  EXPECT_GT(r.ops, 0u);
+  EXPECT_GT(r.lat_ops, 0u) << "enable_latency must record every op";
+  EXPECT_GT(r.lat_p50_ns, 0.0);
+  EXPECT_LE(r.lat_p50_ns, r.lat_p99_ns);
+  EXPECT_LE(r.lat_p99_ns, r.lat_p999_ns);
+  EXPECT_LE(r.lat_p999_ns, static_cast<double>(r.lat_max_ns));
+}
+
+TEST(TrialTest, LatencyScheduleForcesTheRecorderOn) {
+  // A *_latency reclaimer must never run open-loop: even without
+  // enable_latency the harness turns the recorder on and pumps the
+  // observed p99.9 into the schedule.
+  TrialConfig cfg = tiny_config();
+  cfg.reclaimer = "debra_latency";
+  cfg.measure_ms = 50;
+  cfg.enable_latency = false;
+  harness::Trial trial(cfg);
+  const harness::TrialResult r = trial.run();
+  EXPECT_GT(r.lat_ops, 0u);
+  EXPECT_STREQ(trial.schedule().name(), "latency");
+  EXPECT_EQ(trial.reclaimer().stats().pending, 0u);
+  EXPECT_EQ(trial.reclaimer().executor().backlog(), 0u);
 }
 
 TEST(TrialTest, DeterministicSeedGivesIdenticalRetireCounts) {
