@@ -24,15 +24,25 @@
 //   EMR_REMOTE_PENALTY_NS - modelled cross-socket free penalty
 //   EMR_CHURN_MS - thread-churn interval: a worker deregisters and a
 //                  fresh thread registers every this-many ms (0 = off)
+//   EMR_ARRIVAL  - closed | poisson | burst traffic model; open-loop
+//                  modes serve a seeded pre-generated arrival schedule
+//                  (docs/SERVICE_MODE.md)
+//   EMR_RATE_OPS - open-loop mean offered load, ops/s
+//   EMR_ZIPF_S   - Zipfian key skew for open-loop draws (0 = uniform)
+//   EMR_PHASES   - comma list of rate multipliers over equal window slices
+//   EMR_TENANTS / EMR_TENANT_WEIGHTS - ds/ instances sharing the
+//                  reclaimer bundle, and their arrival weights
+//   EMR_RECLAIMER_DAEMON - off | optimistic | aggressive background
+//                  reclaimer thread; EMR_DAEMON_MS sets its tick period
 //   EMR_OUT      - artifact directory for CSV/timeline dumps
 //
 // Binaries that parse argv (bench_ablation_churn,
-// bench_ablation_adaptive, bench_fig_latency) accept `--json <path>`
-// (or EMR_JSON): the result table is mirrored as a JSON array via
-// harness::emit_json, the format the committed BENCH_*.json perf
-// snapshots ingest (ci/check.sh writes BENCH_fig_latency.json at the
-// repo root). The helpers below are the two lines a bench needs to
-// opt in.
+// bench_ablation_adaptive, bench_fig_latency, bench_fig_service)
+// accept `--json <path>` (or EMR_JSON): the result table is mirrored
+// as a JSON array via harness::emit_json, the format the committed
+// BENCH_*.json perf snapshots ingest (ci/check.sh writes
+// BENCH_fig_latency.json and BENCH_fig_service.json at the repo
+// root). The helpers below are the two lines a bench needs to opt in.
 #pragma once
 
 #include <algorithm>

@@ -1,0 +1,475 @@
+// Service-mode figure (docs/SERVICE_MODE.md, ROADMAP item 3): the
+// measurement closed loops structurally cannot make — open-loop arrival
+// traffic against the same structures. A closed loop issues the next op
+// the moment the last one returns, so past saturation the throughput
+// number just flattens; an open loop keeps offering load on a
+// pre-generated seeded schedule, and the *queueing delay* (service
+// start minus scheduled arrival) explodes while per-op service time
+// stays ordinary. The second panel is the multi-tenant/daemon story: a
+// hot tenant sharing one reclaimer bundle with a cold one under phase
+// traffic, where the background reclaimer daemon drains the garbage
+// that op-driven reclamation strands when the traffic stops.
+//
+//   EMR_ARRIVAL / EMR_RATE_OPS / EMR_ZIPF_S / EMR_PHASES - traffic shape
+//   EMR_TENANTS / EMR_TENANT_WEIGHTS     - reclamation domains
+//   EMR_RECLAIMER_DAEMON / EMR_DAEMON_MS - off | optimistic | aggressive
+//   --json <path>  - mirror the table as JSON (bench_common); ci/check.sh
+//                    points this at the committed BENCH_fig_service.json
+//
+// `bench_fig_service --smoke` runs the acceptance gates at laptop scale:
+//   (a) determinism - the offered schedule is a pure function of the
+//       config: byte-identical hash across regenerations, identical
+//       offered counts across repeated daemon-off runs (the "daemon off
+//       changes nothing" guarantee rides on the same fixed seed);
+//   (b) saturation  - aggregated over two seeds, the overloaded cell's
+//       queueing p99.9 is >= 5x the light cell's while the service rate
+//       it sustains stays within the closed-loop capacity band — the
+//       throughput column alone looks healthy while the queue dies;
+//   (c) daemon      - on the hot/cold tenant scenario with a near-idle
+//       tail, the aggressive daemon cuts the garbage the bundle holds
+//       (peak and mean sampled backlog) vs daemon off, with per-tenant
+//       ledgers summing to the bundle total either way.
+#include <cinttypes>
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "core/arrival.hpp"
+#include "core/latency.hpp"
+
+using namespace emr;
+using namespace emr::bench;
+
+namespace {
+
+const char* const kHeaders[] = {
+    "scenario",     "arrival",      "reclaimer",      "daemon",
+    "threads",      "rate_ops",     "offered",        "completed",
+    "mops",         "q_p50_us",     "q_p999_us",      "svc_p999_us",
+    "peak_backlog", "mean_backlog", "daemon_drained", "sched_hash"};
+
+harness::Table make_table() {
+  return harness::Table(std::vector<std::string>(
+      kHeaders, kHeaders + sizeof(kHeaders) / sizeof(kHeaders[0])));
+}
+
+/// One service (or calibration) run folded to the table's columns.
+struct CellResult {
+  harness::TrialResult r;
+  LatencyHistogram queue;     // queueing-delay histogram of this run
+  double mean_backlog = 0;    // over the schedule trace
+  double tail_mean_backlog = 0;   // over samples at t >= kTailFromMs
+  std::uint64_t tail_peak_backlog = 0;
+  std::uint64_t peak_census = 0;
+  std::uint64_t sched_hash = 0;
+  bool accounted = false;
+};
+
+/// Where the daemon scenario's idle window is well underway: past the
+/// 75 ms phase break of the 150 ms smoke cell plus settling margin.
+constexpr std::uint64_t kTailFromMs = 95;
+
+/// The schedule the trial will serve, regenerated here so the bench can
+/// assert reproducibility against the run (mirrors Trial's own mapping
+/// of TrialConfig onto ArrivalConfig).
+std::uint64_t schedule_hash_for(const harness::TrialConfig& cfg) {
+  if (cfg.arrival == "closed") return 0;
+  ArrivalConfig acfg;
+  acfg.process = cfg.arrival == "burst" ? ArrivalConfig::Process::kBurst
+                                        : ArrivalConfig::Process::kPoisson;
+  acfg.rate_ops = cfg.rate_ops;
+  acfg.duration_ns = static_cast<std::uint64_t>(cfg.measure_ms) * 1'000'000ULL;
+  acfg.seed = cfg.seed;
+  acfg.insert_frac = cfg.insert_frac;
+  acfg.erase_frac = cfg.erase_frac;
+  acfg.keyrange = cfg.keyrange;
+  acfg.zipf_s = cfg.zipf_s;
+  acfg.phases = cfg.phases;
+  acfg.tenants = cfg.tenants < 1 ? 1 : cfg.tenants;
+  acfg.tenant_weights = cfg.tenant_weights;
+  return arrival_schedule_hash(generate_arrivals(acfg));
+}
+
+CellResult run_cell(const harness::TrialConfig& cfg) {
+  CellResult out;
+  out.sched_hash = schedule_hash_for(cfg);
+  harness::Trial trial(cfg);
+  out.r = trial.run();
+  out.queue = trial.queue_latency().merged();
+  out.peak_census = trial.garbage().peak_garbage();
+  if (!out.r.schedule_trace.empty()) {
+    double sum = 0, tail_sum = 0;
+    std::uint64_t tail_n = 0;
+    for (const harness::ScheduleSample& s : out.r.schedule_trace) {
+      sum += static_cast<double>(s.backlog);
+      if (s.t_ms >= kTailFromMs) {
+        tail_sum += static_cast<double>(s.backlog);
+        ++tail_n;
+        out.tail_peak_backlog = std::max(out.tail_peak_backlog, s.backlog);
+      }
+    }
+    out.mean_backlog = sum / static_cast<double>(out.r.schedule_trace.size());
+    if (tail_n > 0) out.tail_mean_backlog = tail_sum / static_cast<double>(tail_n);
+  }
+  // flush_all ran inside run(): every retired node must be home.
+  out.accounted = out.r.ops > 0 && trial.reclaimer().stats().pending == 0 &&
+                  trial.reclaimer().executor().backlog() == 0;
+  return out;
+}
+
+void add_row(harness::Table* table, const std::string& scenario,
+             const harness::TrialConfig& cfg, const CellResult& c) {
+  char hash[32] = "-";
+  if (cfg.arrival != "closed") {
+    // "0x" keeps the cell outside the JSON number grammar, so emit_json
+    // always writes the hash as a string (an all-digit hash would
+    // otherwise silently change type between snapshots).
+    std::snprintf(hash, sizeof(hash), "0x%016" PRIx64, c.sched_hash);
+  }
+  table->add_row(
+      {scenario, cfg.arrival, cfg.reclaimer, cfg.reclaimer_daemon,
+       std::to_string(cfg.nthreads), harness::fixed(cfg.rate_ops, 0),
+       std::to_string(c.r.arrivals_offered),
+       std::to_string(c.r.arrivals_completed), harness::fixed(c.r.mops, 3),
+       harness::fixed(c.r.q_p50_ns / 1000.0, 2),
+       harness::fixed(c.r.q_p999_ns / 1000.0, 2),
+       harness::fixed(c.r.lat_p999_ns / 1000.0, 2),
+       std::to_string(c.r.peak_backlog), harness::fixed(c.mean_backlog, 1),
+       std::to_string(c.r.daemon_drained), hash});
+}
+
+void print_cell(const std::string& scenario, const harness::TrialConfig& cfg,
+                const CellResult& c) {
+  std::printf(
+      "%-12s %-7s seed=%-4llu rate=%-8s offered=%-8llu done=%-8llu "
+      "mops=%-6s q_p50=%-8s q_p999=%-8s svc_p999=%-8s drained=%-6llu %s\n",
+      scenario.c_str(), cfg.arrival.c_str(),
+      static_cast<unsigned long long>(cfg.seed),
+      harness::human_count(cfg.rate_ops).c_str(),
+      static_cast<unsigned long long>(c.r.arrivals_offered),
+      static_cast<unsigned long long>(c.r.arrivals_completed),
+      harness::fixed(c.r.mops, 2).c_str(),
+      harness::human_ns(c.r.q_p50_ns).c_str(),
+      harness::human_ns(c.r.q_p999_ns).c_str(),
+      harness::human_ns(c.r.lat_p999_ns).c_str(),
+      static_cast<unsigned long long>(c.r.daemon_drained),
+      c.accounted ? "ok" : "UNACCOUNTED");
+}
+
+// ------------------------------------------------------------- configs
+
+harness::TrialConfig smoke_base() {
+  harness::TrialConfig cfg;
+  cfg.ds = "dgt";
+  cfg.reclaimer = "debra_af";
+  cfg.allocator = "je";
+  cfg.nthreads = 2;
+  cfg.keyrange = 4096;
+  cfg.measure_ms = 150;
+  cfg.smr.batch_size = 128;
+  cfg.alloc.remote_free_penalty_ns = 0;
+  cfg.enable_latency = true;
+  return cfg;
+}
+
+/// The hot/cold tenant scenario for the daemon gate. The garbage that
+/// structurally needs a background reclaimer is *adopted* backlog:
+/// op-driven draining always keeps pace while traffic flows (the quota
+/// is at least one node per op), but when a churned-out worker's
+/// departure scan hands its retire list to the executor during the idle
+/// tail, no ops follow to drain it — with the daemon off it simply
+/// stands until teardown. Thread churn every 40 ms puts two departures
+/// inside the 75 ms idle tail, each stranding ~half a scan threshold.
+harness::TrialConfig tenant_config(double capacity, const char* level) {
+  harness::TrialConfig cfg = smoke_base();
+  cfg.seed = 42;
+  cfg.arrival = "poisson";
+  // hp's departure scan needs no grace period (it checks hazard slots on
+  // the spot), so the hand-off reaches the executor deterministically.
+  cfg.reclaimer = "hp_af";
+  cfg.smr.batch_size = 2048;
+  cfg.churn_interval_ms = 40;
+  // Busy phase at ~0.7x capacity: dense traffic, but the arrival queue
+  // stays short so serving really stops at the phase break and the tail
+  // is an idle window, not a backlog-spill extension of the busy half.
+  cfg.rate_ops = capacity * 0.35;
+  cfg.phases = {2.0, 0.0002};  // busy half, then an almost-opless tail
+  cfg.tenants = 2;
+  cfg.tenant_weights = {10.0, 1.0};
+  cfg.reclaimer_daemon = level;
+  cfg.daemon_period_ms = 1;
+  cfg.enable_schedule_trace = true;
+  cfg.enable_garbage = true;
+  return cfg;
+}
+
+int run_smoke(int argc, char** argv) {
+  harness::Table table = make_table();
+  bool ok = true;
+
+  // Closed-loop capacity of the smoke cell — the saturation knee the
+  // open-loop offered rates are placed around.
+  double capacity = 0;
+  {
+    harness::TrialConfig cfg = smoke_base();
+    cfg.seed = 42;
+    const CellResult c = run_cell(cfg);
+    add_row(&table, "closed-cal", cfg, c);
+    capacity = static_cast<double>(c.r.ops) /
+               (static_cast<double>(c.r.wall_ns) / 1e9);
+  }
+  std::printf("closed-loop capacity: %s ops/s (2 threads)\n\n",
+              harness::human_count(capacity).c_str());
+  if (capacity <= 0) {
+    std::printf("FAILED: capacity calibration measured nothing\n");
+    return 1;
+  }
+
+  // ---- (a) + (b): open-loop saturation over two seeds ----------------
+  const std::uint64_t kSeeds[] = {42, 1042};
+  LatencyHistogram light_q, over_q;
+  double over_rate_sum = 0;
+  int over_runs = 0;
+  for (const std::uint64_t seed : kSeeds) {
+    for (const bool overload : {false, true}) {
+      harness::TrialConfig cfg = smoke_base();
+      cfg.seed = seed;
+      cfg.arrival = "poisson";
+      cfg.rate_ops = capacity * (overload ? 1.6 : 0.4);
+      const CellResult c = run_cell(cfg);
+      ok &= c.accounted;
+      print_cell(overload ? "over" : "light", cfg, c);
+      add_row(&table, overload ? "over" : "light", cfg, c);
+
+      if (overload) {
+        over_q.add(c.queue);
+        over_rate_sum += static_cast<double>(c.r.arrivals_completed) /
+                         (static_cast<double>(c.r.wall_ns) / 1e9);
+        ++over_runs;
+      } else {
+        light_q.add(c.queue);
+        // Light load: (almost) every offered arrival gets served.
+        if (c.r.arrivals_completed < c.r.arrivals_offered * 95 / 100) {
+          std::printf("FAILED: light load left offered arrivals unserved "
+                      "(%llu of %llu)\n",
+                      static_cast<unsigned long long>(c.r.arrivals_completed),
+                      static_cast<unsigned long long>(c.r.arrivals_offered));
+          ok = false;
+        }
+      }
+
+      // (a) regenerating the schedule from the same config hashes
+      // identically to what the run served.
+      if (schedule_hash_for(cfg) != c.sched_hash) {
+        std::printf("FAILED: schedule hash not reproducible for seed %llu\n",
+                    static_cast<unsigned long long>(seed));
+        ok = false;
+      }
+    }
+  }
+  // (a) continued: a repeated daemon-off run offers the bit-identical
+  // schedule — same hash, same event count.
+  {
+    harness::TrialConfig cfg = smoke_base();
+    cfg.seed = kSeeds[0];
+    cfg.arrival = "poisson";
+    cfg.rate_ops = capacity * 0.4;
+    const CellResult a = run_cell(cfg);
+    const CellResult b = run_cell(cfg);
+    if (a.sched_hash != b.sched_hash ||
+        a.r.arrivals_offered != b.r.arrivals_offered) {
+      std::printf("FAILED: repeated daemon-off runs disagree on the offered "
+                  "schedule (hash 0x%016" PRIx64 " vs 0x%016" PRIx64
+                  ", offered %llu vs %llu)\n",
+                  a.sched_hash, b.sched_hash,
+                  static_cast<unsigned long long>(a.r.arrivals_offered),
+                  static_cast<unsigned long long>(b.r.arrivals_offered));
+      ok = false;
+    }
+  }
+
+  const double light_p999 = latency_percentile(light_q, 0.999);
+  const double over_p999 = latency_percentile(over_q, 0.999);
+  const double over_rate = over_runs > 0 ? over_rate_sum / over_runs : 0;
+  std::printf("\nqueueing p99.9: light=%s over=%s | sustained over-rate "
+              "%s ops/s vs capacity %s\n",
+              harness::human_ns(light_p999).c_str(),
+              harness::human_ns(over_p999).c_str(),
+              harness::human_count(over_rate).c_str(),
+              harness::human_count(capacity).c_str());
+  // (b) Past saturation the queueing tail explodes by multiples...
+  if (over_p999 < 5.0 * light_p999 || over_p999 < 500'000.0) {
+    std::printf("FAILED: overload queueing p99.9 (%s) is not >= 5x light "
+                "(%s) and >= 0.5ms\n",
+                harness::human_ns(over_p999).c_str(),
+                harness::human_ns(light_p999).c_str());
+    ok = false;
+  }
+  // ...while the throughput column stays flat: the saturated workers
+  // still serve within the closed-loop capacity band.
+  if (over_rate < 0.6 * capacity) {
+    std::printf("FAILED: overloaded service rate (%s) collapsed below 60%% "
+                "of closed-loop capacity — the harm should be queueing, not "
+                "throughput\n",
+                harness::human_count(over_rate).c_str());
+    ok = false;
+  }
+
+  // ---- (c) hot/cold tenants, daemon off vs aggressive ----------------
+  std::printf("\n");
+  CellResult cells[2];
+  const char* const kLevels[2] = {"off", "aggressive"};
+  for (int i = 0; i < 2; ++i) {
+    const harness::TrialConfig cfg = tenant_config(capacity, kLevels[i]);
+    cells[i] = run_cell(cfg);
+    ok &= cells[i].accounted;
+    if (env_has("EMR_TRACE_DUMP")) {
+      std::printf("-- trace %s: ", kLevels[i]);
+      for (const harness::ScheduleSample& s : cells[i].r.schedule_trace) {
+        std::printf("%llu:%llu ", static_cast<unsigned long long>(s.t_ms),
+                    static_cast<unsigned long long>(s.backlog));
+      }
+      std::printf("\n   ticks=%llu pressure=%llu quiet=%llu\n",
+                  static_cast<unsigned long long>(cells[i].r.daemon_ticks),
+                  static_cast<unsigned long long>(
+                      cells[i].r.daemon_pressure_ticks),
+                  static_cast<unsigned long long>(
+                      cells[i].r.daemon_quiet_ticks));
+    }
+    const std::string label = std::string("tenant-") + kLevels[i];
+    print_cell(label, cfg, cells[i]);
+    add_row(&table, label, cfg, cells[i]);
+
+    const harness::TrialResult& r = cells[i].r;
+    if (r.tenant.size() != 2 ||
+        r.tenant[0].retired + r.tenant[1].retired != r.smr_stats.retired) {
+      std::printf("FAILED: tenant ledgers do not sum to the bundle total "
+                  "(daemon=%s)\n",
+                  kLevels[i]);
+      ok = false;
+    }
+    if (r.tenant.size() == 2 &&
+        r.tenant[0].retired <= 3 * r.tenant[1].retired) {
+      std::printf("FAILED: the hot tenant is not hot (retired %llu vs "
+                  "%llu)\n",
+                  static_cast<unsigned long long>(r.tenant[0].retired),
+                  static_cast<unsigned long long>(r.tenant[1].retired));
+      ok = false;
+    }
+  }
+  std::printf("\ngarbage held in the idle tail (t >= %llums): off "
+              "peak=%llu mean=%.1f | aggressive peak=%llu mean=%.1f "
+              "(daemon drained %llu; census peaks %llu vs %llu)\n",
+              static_cast<unsigned long long>(kTailFromMs),
+              static_cast<unsigned long long>(cells[0].tail_peak_backlog),
+              cells[0].tail_mean_backlog,
+              static_cast<unsigned long long>(cells[1].tail_peak_backlog),
+              cells[1].tail_mean_backlog,
+              static_cast<unsigned long long>(cells[1].r.daemon_drained),
+              static_cast<unsigned long long>(cells[0].peak_census),
+              static_cast<unsigned long long>(cells[1].peak_census));
+  if (cells[1].r.daemon_drained == 0) {
+    std::printf("FAILED: the aggressive daemon never drained anything\n");
+    ok = false;
+  }
+  // The daemon's win is the garbage stranded once traffic stops: with
+  // the daemon off, whatever the executor holds at the last op simply
+  // stays there; aggressive keeps draining through the idle window.
+  if (cells[0].tail_mean_backlog < 64.0) {
+    std::printf("FAILED: daemon-off stranded almost nothing in the idle "
+                "tail (mean %.1f nodes) — the scenario is degenerate\n",
+                cells[0].tail_mean_backlog);
+    ok = false;
+  }
+  // The first post-strand sample can catch aggressive before its next
+  // tick, so the gate is the tail *mean* (daemon clears the strand in a
+  // few ticks; off holds it for the rest of the window), not the peak.
+  if (cells[1].tail_mean_backlog > 0.5 * cells[0].tail_mean_backlog) {
+    std::printf("FAILED: aggressive tail garbage (mean %.1f) is not < 50%% "
+                "of daemon-off (%.1f)\n",
+                cells[1].tail_mean_backlog, cells[0].tail_mean_backlog);
+    ok = false;
+  }
+
+  maybe_write_json(table, json_path_from_args(argc, argv));
+  std::printf("bench_fig_service --smoke: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke(argc, argv);
+  }
+
+  harness::TrialConfig base = default_config();
+  base.enable_latency = true;
+  harness::print_banner(
+      "Service mode: open-loop arrivals, queueing delay, tenants, daemon",
+      "beyond the paper: closed loops cannot see queueing collapse "
+      "(ROADMAP item 3, docs/SERVICE_MODE.md)",
+      describe(base) + " reclaimer=" + base.reclaimer +
+          " daemon=" + base.reclaimer_daemon);
+
+  harness::Table table = make_table();
+
+  // Panel 1: walk the offered load across the saturation knee.
+  double capacity = 0;
+  {
+    harness::TrialConfig cal = base;
+    cal.arrival = "closed";
+    const CellResult c = run_cell(cal);
+    add_row(&table, "closed-cal", cal, c);
+    capacity = static_cast<double>(c.r.ops) /
+               (static_cast<double>(c.r.wall_ns) / 1e9);
+    std::printf("closed-loop capacity: %s ops/s (%d threads)\n\n",
+                harness::human_count(capacity).c_str(), cal.nthreads);
+  }
+  for (const double frac : {0.25, 0.5, 0.75, 1.0, 1.25, 1.5}) {
+    harness::TrialConfig cfg = base;
+    if (cfg.arrival == "closed") cfg.arrival = "poisson";
+    if (!env_has("EMR_RATE_OPS")) cfg.rate_ops = capacity * frac;
+    const CellResult cell = run_cell(cfg);
+    char label[32];
+    std::snprintf(label, sizeof(label), "load-%.2f", frac);
+    print_cell(label, cfg, cell);
+    add_row(&table, label, cfg, cell);
+  }
+
+  // Panel 2: hot/cold tenants under phase traffic, daemon off vs on.
+  std::printf("\n");
+  for (const char* level : {"off", "optimistic", "aggressive"}) {
+    harness::TrialConfig cfg = base;
+    if (cfg.arrival == "closed") cfg.arrival = "poisson";
+    if (!env_has("EMR_RATE_OPS")) cfg.rate_ops = capacity * 0.5;
+    if (!env_has("EMR_PHASES")) cfg.phases = {2.0, 0.05};
+    if (cfg.tenants <= 1) {
+      cfg.tenants = 2;
+      cfg.tenant_weights = {10.0, 1.0};
+    }
+    cfg.reclaimer_daemon = level;
+    cfg.enable_schedule_trace = true;
+    const CellResult cell = run_cell(cfg);
+    const std::string label = std::string("tenant-") + level;
+    print_cell(label, cfg, cell);
+    add_row(&table, label, cfg, cell);
+    if (cell.r.tenant.size() == 2) {
+      std::printf(
+          "    hot: retired=%llu backlog_end=%llu p999=%s | cold: "
+          "retired=%llu backlog_end=%llu p999=%s\n",
+          static_cast<unsigned long long>(cell.r.tenant[0].retired),
+          static_cast<unsigned long long>(cell.r.tenant[0].backlog_end),
+          harness::human_ns(cell.r.tenant[0].lat_p999_ns).c_str(),
+          static_cast<unsigned long long>(cell.r.tenant[1].retired),
+          static_cast<unsigned long long>(cell.r.tenant[1].backlog_end),
+          harness::human_ns(cell.r.tenant[1].lat_p999_ns).c_str());
+    }
+  }
+
+  std::printf("\n");
+  table.print();
+  table.write_csv(harness::out_dir() + "fig_service.csv");
+  std::printf("\nCSV: %sfig_service.csv\n", harness::out_dir().c_str());
+  maybe_write_json(table, json_path_from_args(argc, argv));
+  return 0;
+}

@@ -38,6 +38,15 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 "$BUILD_DIR/bench_fig_latency" --smoke --json BENCH_fig_latency.json
 test -s BENCH_fig_latency.json
 
+# Service-mode smoke (ROADMAP item 3, docs/SERVICE_MODE.md): the offered
+# schedule is deterministic per seed, open-loop queueing p99.9 explodes
+# past saturation while the served rate stays in the capacity band, and
+# on the hot/cold-tenant churn scenario the aggressive daemon clears the
+# idle-tail garbage that daemon-off strands. Writes the committed
+# snapshot at the repo root (test_report parses it strictly).
+"$BUILD_DIR/bench_fig_service" --smoke --json BENCH_fig_service.json
+test -s BENCH_fig_service.json
+
 # Policy-layer invariant: executors and scheme TUs ask the FreeSchedule
 # for every batching quantum; only smr/free_schedule.cpp may read the
 # raw SmrConfig batching knobs.
@@ -83,6 +92,10 @@ if [ -x "$TSAN_DIR/test_ds" ]; then
   # Adaptive-executor lane-stats counters: a stats_with_lanes reader
   # races registration churn and retire-heavy lanes.
   "$TSAN_DIR/test_free_schedule" --gtest_filter='*Concurrent*'
+  # Reclaimer-daemon stress: daemon start/stop cycles racing
+  # ThreadHandle register/deregister churn and retires across every
+  # reclaimer family, with exact ledger checks after the dust settles.
+  "$TSAN_DIR/test_service" --gtest_filter='*DaemonChurn*'
 else
   # Without GTest the unit suites (and this race check) don't build;
   # mirror the main build's degrade-with-a-warning behaviour.

@@ -96,4 +96,33 @@ inline bool env_int_list_strict(const char* name, std::vector<int>* out,
   return true;
 }
 
+/// env_int_list_strict's shape for real-valued knobs (EMR_PHASES,
+/// EMR_TENANT_WEIGHTS): whitespace/comma separators, any token that is
+/// not a finite double fails the whole parse with the offending token
+/// copied into `bad_token`. Range policing (positivity etc.) is the
+/// caller's job — validate_config names the valid range per knob.
+inline bool env_f64_list_strict(const char* name, std::vector<double>* out,
+                                std::string* bad_token) {
+  out->clear();
+  const char* v = std::getenv(name);
+  if (v == nullptr) return true;
+  const char* p = v;
+  auto is_sep = [](char c) { return c == ' ' || c == ',' || c == '\t'; };
+  while (*p != '\0') {
+    while (is_sep(*p)) ++p;
+    if (*p == '\0') break;
+    char* end = nullptr;
+    const double parsed = std::strtod(p, &end);
+    if (end == p || !(*end == '\0' || is_sep(*end))) {
+      const char* tok_end = p;
+      while (*tok_end != '\0' && !is_sep(*tok_end)) ++tok_end;
+      if (bad_token != nullptr) bad_token->assign(p, tok_end);
+      return false;
+    }
+    out->push_back(parsed);
+    p = end;
+  }
+  return true;
+}
+
 }  // namespace emr

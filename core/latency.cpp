@@ -31,11 +31,13 @@ double latency_percentile(const LatencyHistogram& h, double q) {
   return static_cast<double>(h.max_ns);
 }
 
-void LatencyRecorder::reset(int lanes, bool enabled) {
+void LatencyRecorder::reset(int lanes, int channels, bool enabled) {
   n_ = lanes < 1 ? 1 : lanes;
+  channels_ = channels < 1 ? 1 : channels;
   enabled_ = enabled;
   // Value-initialized: every bucket counter and max starts at zero.
-  lanes_ = std::make_unique<Lane[]>(static_cast<std::size_t>(n_));
+  lanes_ =
+      std::make_unique<Lane[]>(static_cast<std::size_t>(n_ * channels_));
 }
 
 LatencyHistogram LatencyRecorder::merged() const {
@@ -44,10 +46,27 @@ LatencyHistogram LatencyRecorder::merged() const {
   return out;
 }
 
+LatencyHistogram LatencyRecorder::merged_channel(int channel) const {
+  LatencyHistogram out;
+  if (!lanes_ || channel < 0 || channel >= channels_) return out;
+  for (int l = 0; l < n_; ++l) {
+    out.add(cell_histogram(l * channels_ + channel));
+  }
+  return out;
+}
+
 LatencyHistogram LatencyRecorder::lane_histogram(int lane) const {
   LatencyHistogram out;
   if (!lanes_ || lane < 0 || lane >= n_) return out;
-  const Lane& l = lanes_[static_cast<std::size_t>(lane)];
+  for (int c = 0; c < channels_; ++c) {
+    out.add(cell_histogram(lane * channels_ + c));
+  }
+  return out;
+}
+
+LatencyHistogram LatencyRecorder::cell_histogram(int cell) const {
+  LatencyHistogram out;
+  const Lane& l = lanes_[static_cast<std::size_t>(cell)];
   for (int b = 0; b < kLatencyBuckets; ++b) {
     const std::uint64_t c =
         l.counts[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);

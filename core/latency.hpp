@@ -68,21 +68,34 @@ double latency_percentile(const LatencyHistogram& h, double q);
 /// merged() may run concurrently from the schedule sampler — counters
 /// are relaxed atomics, so a mid-trial merge sees a slightly stale but
 /// never torn histogram.
+///
+/// A lane can be split into `channels` independent histograms (the
+/// harness keys them by op kind: insert/erase/lookup tails separate).
+/// Every channel of a lane is still that lane's private cache lines;
+/// merged() spans all channels, merged_channel() isolates one.
 class LatencyRecorder {
  public:
-  /// Re-arms (or disarms) the recorder with `lanes` fresh lanes.
-  /// Single-threaded: call before workers start.
-  void reset(int lanes, bool enabled);
+  /// Re-arms (or disarms) the recorder with `lanes` fresh lanes of one
+  /// channel each. Single-threaded: call before workers start.
+  void reset(int lanes, bool enabled) { reset(lanes, 1, enabled); }
+
+  /// Multi-channel re-arm: lanes x channels fresh histograms.
+  void reset(int lanes, int channels, bool enabled);
 
   bool enabled() const { return enabled_; }
   int lane_count() const { return lanes_ ? n_ : 0; }
+  int channel_count() const { return lanes_ ? channels_ : 0; }
 
-  /// One sample on `lane`'s own cache line. Out-of-range lanes fold
-  /// onto lane 0 rather than dropping the sample.
-  void record(int lane, std::uint64_t ns) {
+  /// One sample on `lane`'s channel 0.
+  void record(int lane, std::uint64_t ns) { record(lane, 0, ns); }
+
+  /// One sample on `lane`'s own cache line(s). Out-of-range lanes and
+  /// channels fold onto 0 rather than dropping the sample.
+  void record(int lane, int channel, std::uint64_t ns) {
     if (!enabled_) return;
     if (lane < 0 || lane >= n_) lane = 0;
-    Lane& l = lanes_[static_cast<std::size_t>(lane)];
+    if (channel < 0 || channel >= channels_) channel = 0;
+    Lane& l = lanes_[static_cast<std::size_t>(lane * channels_ + channel)];
     l.counts[static_cast<std::size_t>(latency_bucket(ns))].fetch_add(
         1, std::memory_order_relaxed);
     std::uint64_t seen = l.max_ns.load(std::memory_order_relaxed);
@@ -92,10 +105,15 @@ class LatencyRecorder {
     }
   }
 
-  /// Sums every lane into one snapshot. Callable from any thread.
+  /// Sums every lane and channel into one snapshot. Callable from any
+  /// thread.
   LatencyHistogram merged() const;
 
-  /// One lane's snapshot (tests and per-lane diagnostics).
+  /// One channel's snapshot across all lanes (per-op-kind percentiles).
+  LatencyHistogram merged_channel(int channel) const;
+
+  /// One lane's snapshot across its channels (tests and per-lane
+  /// diagnostics).
   LatencyHistogram lane_histogram(int lane) const;
 
  private:
@@ -104,8 +122,11 @@ class LatencyRecorder {
     std::atomic<std::uint64_t> max_ns{0};
   };
 
-  std::unique_ptr<Lane[]> lanes_;
+  LatencyHistogram cell_histogram(int cell) const;
+
+  std::unique_ptr<Lane[]> lanes_;  // n_ x channels_, lane-major
   int n_ = 0;
+  int channels_ = 1;
   bool enabled_ = false;
 };
 

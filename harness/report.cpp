@@ -46,6 +46,22 @@ std::string human_count(double v) {
   return buf;
 }
 
+std::string human_ns(double ns) {
+  if (!std::isfinite(ns)) return fixed(ns, 0);
+  const double mag = std::fabs(ns);
+  char buf[32];
+  if (mag >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  } else if (mag >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else if (mag >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  }
+  return buf;
+}
+
 void print_banner(const std::string& title, const std::string& source,
                   const std::string& config) {
   const std::size_t width =

@@ -16,6 +16,11 @@ std::string fixed(double v, int precision);
 /// Compact magnitudes: 950 -> "950", 1.2e6 -> "1.20M", 3.4e9 -> "3.40G".
 std::string human_count(double v);
 
+/// Durations in the unit that keeps 2-3 significant digits: 850 ->
+/// "850ns", 12'400 -> "12.4us", 3.1e6 -> "3.10ms", 2.5e9 -> "2.50s".
+/// Non-finite inputs follow fixed()'s "nan"/"inf" convention.
+std::string human_ns(double ns);
+
 /// Three-line header every bench prints before its sweep.
 void print_banner(const std::string& title, const std::string& source,
                   const std::string& config);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 #include <thread>
@@ -144,6 +145,56 @@ void apply_env_overrides(TrialConfig& cfg) {
   if (env_has("EMR_ERASE_FRAC")) {
     cfg.erase_frac = env_f64("EMR_ERASE_FRAC", cfg.erase_frac);
   }
+  if (env_has("EMR_ARRIVAL")) {
+    // Validity (closed | poisson | burst) is owned by validate_config.
+    cfg.arrival = env_str("EMR_ARRIVAL", cfg.arrival);
+  }
+  if (env_has("EMR_RATE_OPS")) {
+    // Deliberately unclamped: validate_config rejects rates <= 0 or
+    // non-finite naming the range.
+    cfg.rate_ops = env_f64("EMR_RATE_OPS", cfg.rate_ops);
+  }
+  if (env_has("EMR_ZIPF_S")) {
+    cfg.zipf_s = env_f64("EMR_ZIPF_S", cfg.zipf_s);
+  }
+  {
+    std::vector<double> phases;
+    std::string bad;
+    if (!env_f64_list_strict("EMR_PHASES", &phases, &bad)) {
+      throw std::invalid_argument(
+          "invalid EMR_PHASES token '" + bad +
+          "' (expected a comma/space-separated list of per-phase rate "
+          "multipliers, e.g. \"2,0.05\" for a busy half then a "
+          "near-idle tail)");
+    }
+    if (!phases.empty()) cfg.phases = std::move(phases);
+  }
+  if (env_has("EMR_TENANTS")) {
+    // Unclamped: validate_config rejects tenants < 1.
+    cfg.tenants = static_cast<int>(env_i64("EMR_TENANTS", cfg.tenants));
+  }
+  {
+    std::vector<double> weights;
+    std::string bad;
+    if (!env_f64_list_strict("EMR_TENANT_WEIGHTS", &weights, &bad)) {
+      throw std::invalid_argument(
+          "invalid EMR_TENANT_WEIGHTS token '" + bad +
+          "' (expected a comma/space-separated list of per-tenant draw "
+          "weights, e.g. \"10,1\" for a hot and a cold tenant)");
+    }
+    if (!weights.empty()) cfg.tenant_weights = std::move(weights);
+  }
+  if (env_has("EMR_RECLAIMER_DAEMON")) {
+    // Validity (off | optimistic | aggressive) is owned by
+    // validate_config via daemon_level_from_name.
+    cfg.reclaimer_daemon =
+        env_str("EMR_RECLAIMER_DAEMON", cfg.reclaimer_daemon);
+  }
+  if (env_has("EMR_DAEMON_MS")) {
+    // Unclamped: validate_config rejects periods < 1.
+    cfg.daemon_period_ms =
+        static_cast<int>(env_i64("EMR_DAEMON_MS", cfg.daemon_period_ms));
+  }
 }
 
 TrialConfig config_from_env() {
@@ -231,6 +282,74 @@ void validate_config(const TrialConfig& cfg) {
         std::to_string(cfg.nthreads) + "): churn joins one worker while "
         "the others keep running, which a lone worker cannot do");
   }
+  if (cfg.arrival != "closed" && cfg.arrival != "poisson" &&
+      cfg.arrival != "burst") {
+    throw std::invalid_argument(
+        "unknown arrival process: '" + cfg.arrival +
+        "' (valid: closed poisson burst)");
+  }
+  if (!std::isfinite(cfg.rate_ops) || cfg.rate_ops <= 0.0) {
+    throw std::invalid_argument(
+        "invalid rate_ops: " + std::to_string(cfg.rate_ops) +
+        " (valid range: a finite offered load > 0 ops/sec)");
+  }
+  if (!std::isfinite(cfg.zipf_s) || cfg.zipf_s < 0.0) {
+    throw std::invalid_argument(
+        "invalid zipf_s: " + std::to_string(cfg.zipf_s) +
+        " (valid range: >= 0, where 0 is a uniform key draw)");
+  }
+  if (cfg.phases.empty()) {
+    throw std::invalid_argument(
+        "invalid phases: empty (valid: at least one finite rate "
+        "multiplier > 0; {1.0} is the flat default)");
+  }
+  for (double m : cfg.phases) {
+    if (!std::isfinite(m) || m <= 0.0) {
+      throw std::invalid_argument(
+          "invalid phase multiplier: " + std::to_string(m) +
+          " (valid range: finite and > 0)");
+    }
+  }
+  if (cfg.tenants < 1) {
+    throw std::invalid_argument(
+        "invalid tenants: " + std::to_string(cfg.tenants) +
+        " (valid range: >= 1, where 1 is the classic single domain)");
+  }
+  if (!cfg.tenant_weights.empty() &&
+      cfg.tenant_weights.size() != static_cast<std::size_t>(cfg.tenants)) {
+    throw std::invalid_argument(
+        "invalid tenant_weights: " +
+        std::to_string(cfg.tenant_weights.size()) + " entries for " +
+        std::to_string(cfg.tenants) +
+        " tenants (must be empty for a uniform draw, or exactly one "
+        "weight per tenant)");
+  }
+  for (double w : cfg.tenant_weights) {
+    if (!std::isfinite(w) || w <= 0.0) {
+      throw std::invalid_argument(
+          "invalid tenant weight: " + std::to_string(w) +
+          " (valid range: finite and > 0)");
+    }
+  }
+  if (cfg.daemon_period_ms < 1) {
+    throw std::invalid_argument(
+        "invalid daemon_period_ms: " + std::to_string(cfg.daemon_period_ms) +
+        " (valid range: >= 1 millisecond — the reclaimer daemon's tick "
+        "period)");
+  }
+  // Throws listing the valid levels on an unknown name.
+  smr::daemon_level_from_name(cfg.reclaimer_daemon);
+  if (cfg.arrival != "closed") {
+    const double expected =
+        cfg.rate_ops * static_cast<double>(cfg.measure_ms) / 1000.0;
+    if (expected > static_cast<double>(kMaxArrivals)) {
+      throw std::invalid_argument(
+          "open-loop schedule too large: rate_ops x window = " +
+          std::to_string(expected) + " expected events (valid range: <= " +
+          std::to_string(kMaxArrivals) +
+          " — lower rate_ops or measure_ms)");
+    }
+  }
   // The ds name is not re-checked here: ds::make_set (run from Trial's
   // constructor right after this) already fails fast listing set_names().
   if (!known_name(smr::all_factory_names(), cfg.reclaimer)) {
@@ -255,6 +374,28 @@ OpStream::OpStream(std::uint64_t seed, int tid, double insert_frac,
       erase_frac_(erase_frac),
       keyrange_(std::max<std::uint64_t>(keyrange, 1)) {}
 
+OpStream::OpStream(const TrialConfig& cfg, int tid)
+    : OpStream(cfg.seed, tid, cfg.insert_frac, cfg.erase_frac,
+               cfg.keyrange) {
+  // Both extensions are draw-for-draw conservative: with zipf_s == 0
+  // and tenants <= 1 next() consumes exactly the legacy random stream,
+  // so pre-service-mode trials replay bit-identically.
+  if (cfg.zipf_s > 0.0) {
+    zipf_ = std::make_unique<Zipf>(keyrange_, cfg.zipf_s);
+  }
+  tenants_ = std::max(cfg.tenants, 1);
+  if (tenants_ > 1 && !cfg.tenant_weights.empty()) {
+    double total = 0.0;
+    for (double w : cfg.tenant_weights) total += w;
+    tenant_cdf_.reserve(cfg.tenant_weights.size());
+    double acc = 0.0;
+    for (double w : cfg.tenant_weights) {
+      acc += w;
+      tenant_cdf_.push_back(acc / total);
+    }
+  }
+}
+
 Op OpStream::next() {
   const double r = rng_.next_double();
   Op op;
@@ -265,7 +406,25 @@ Op OpStream::next() {
   } else {
     op.kind = Op::kLookup;
   }
-  op.key = rng_.next_range(keyrange_);
+  // Same per-event draw order as core/arrival.hpp's generator (kind,
+  // key, tenant), and like it the zipf path consumes exactly one
+  // uniform per key.
+  op.key = zipf_ ? zipf_->sample(rng_.next_double())
+                 : rng_.next_range(keyrange_);
+  if (tenants_ > 1) {
+    if (tenant_cdf_.empty()) {
+      op.tenant = static_cast<std::uint32_t>(
+          rng_.next_range(static_cast<std::uint64_t>(tenants_)));
+    } else {
+      const double u = rng_.next_double();
+      std::uint32_t t = 0;
+      while (t + 1 < static_cast<std::uint32_t>(tenants_) &&
+             u >= tenant_cdf_[t]) {
+        ++t;
+      }
+      op.tenant = t;
+    }
+  }
   return op;
 }
 
@@ -276,19 +435,25 @@ namespace {
 /// Deterministic half-full prefill through the normal op path on a
 /// transient registration: every even key, in an order shuffled from the
 /// trial seed so the unbalanced occtree is not built from a sorted
-/// stream (which would degenerate it into a list).
+/// stream (which would degenerate it into a list). Tenant 0's order is
+/// the pre-service-mode one bit-for-bit; further tenants mix their
+/// index into the shuffle seed.
 void prefill(ds::ConcurrentSet& set, smr::Reclaimer& r,
-             const TrialConfig& cfg) {
+             const TrialConfig& cfg, int tenant) {
   std::vector<std::uint64_t> keys;
   keys.reserve(static_cast<std::size_t>(cfg.keyrange / 2 + 1));
   for (std::uint64_t k = 0; k < cfg.keyrange; k += 2) keys.push_back(k);
   // Distinct xor constant: seed ^ golden-ratio is already worker 0's
   // OpStream seed, and the prefill order must not correlate with it.
-  Rng rng(cfg.seed ^ 0xC3A5C85C97CB3127ULL);
+  Rng rng(cfg.seed ^ 0xC3A5C85C97CB3127ULL ^
+          (static_cast<std::uint64_t>(tenant) * 0x9E3779B97F4A7C15ULL));
   for (std::size_t i = keys.size(); i > 1; --i) {
     std::swap(keys[i - 1], keys[rng.next_range(i)]);
   }
   smr::ThreadHandle h = r.register_thread();
+  // Structural retires during the prefill (e.g. abtree splits) should
+  // already land on the right tenant's ledger.
+  r.executor().set_lane_tenant(h.slot(), tenant);
   for (std::uint64_t k : keys) set.insert(h, k);
 }
 
@@ -297,8 +462,15 @@ void prefill(ds::ConcurrentSet& set, smr::Reclaimer& r,
 Trial::Trial(const TrialConfig& cfg) : cfg_(cfg) {
   validate_config(cfg_);
 
+  const smr::DaemonLevel dlevel =
+      smr::daemon_level_from_name(cfg_.reclaimer_daemon);
+
   smr::SmrConfig scfg = cfg_.smr;
   scfg.num_threads = std::max(cfg_.nthreads, 1);
+  scfg.tenants = std::max(cfg_.tenants, 1);
+  // The daemon registers its own ThreadHandle: budget its slot on top
+  // of the configured churn/teardown headroom.
+  if (dlevel != smr::DaemonLevel::kOff) scfg.extra_slots += 1;
 
   // Allocator lanes are keyed by registration slot, so the lane table
   // covers the whole slot capacity (workers + churn/teardown headroom).
@@ -312,10 +484,27 @@ Trial::Trial(const TrialConfig& cfg) : cfg_(cfg) {
   ctx.garbage = &garbage_;
   bundle_ = smr::make_reclaimer(cfg_.reclaimer, ctx, scfg);
 
+  if (dlevel != smr::DaemonLevel::kOff) {
+    // Armed here, single-threaded, before any structure or worker
+    // touches the bundle: from this point the per-lane daemon locks are
+    // real (and with the daemon off they are never armed, keeping the
+    // op path instruction-identical to the pre-daemon harness).
+    bundle_.reclaimer->executor().set_daemon_hooked(true);
+    daemon_ = std::make_unique<smr::ReclaimerDaemon>(
+        *bundle_.reclaimer, dlevel, cfg_.daemon_period_ms);
+  }
+
   ds::SetConfig dcfg;
   dcfg.keyrange = cfg_.keyrange;
   dcfg.num_threads = std::max(cfg_.nthreads, 1);
-  set_ = ds::make_set(cfg_.ds, dcfg, bundle_.reclaimer.get());
+  // One structure per tenant, all sharing this bundle: the tenants are
+  // separate reclamation *domains* only in the accounting sense — the
+  // executor ledgers attribute retire/backlog per tenant.
+  const int ntenants = std::max(cfg_.tenants, 1);
+  sets_.reserve(static_cast<std::size_t>(ntenants));
+  for (int t = 0; t < ntenants; ++t) {
+    sets_.push_back(ds::make_set(cfg_.ds, dcfg, bundle_.reclaimer.get()));
+  }
 }
 
 Trial::~Trial() = default;
@@ -326,6 +515,9 @@ TrialResult Trial::run() {
 
   const int nthreads = std::max(cfg_.nthreads, 1);
   const int lanes = static_cast<int>(bundle_.reclaimer->slot_capacity());
+  const bool service = cfg_.arrival != "closed";
+  const int ntenants = static_cast<int>(sets_.size());
+  const bool multi = ntenants > 1;
 
   // Instruments stay disarmed through the prefill. Timeline lanes cover
   // the whole registration-slot table: under churn an event can land on
@@ -335,13 +527,71 @@ TrialResult Trial::run() {
   // The latency recorder arms before the workers spawn (its lane table
   // is allocated off the hot path); workers only record once `go` opens
   // the measured window. A latency-feedback schedule forces it on —
-  // the controller is open-loop without the signal.
+  // the controller is open-loop without the signal. Channels split the
+  // service tail by op kind (insert/erase/lookup).
   const bool want_feedback = bundle_.schedule->wants_latency_feedback();
-  latency_.reset(lanes, cfg_.enable_latency || want_feedback);
-  prefill(*set_, *bundle_.reclaimer, cfg_);
+  const bool record_lat = cfg_.enable_latency || want_feedback;
+  latency_.reset(lanes, 3, record_lat);
+  // Queueing delay (service start minus scheduled arrival) only exists
+  // against an arrival schedule; the per-tenant service recorder keys
+  // its "lanes" by tenant.
+  queue_latency_.reset(lanes, service);
+  tenant_latency_.reset(ntenants, record_lat && multi);
+  for (int t = 0; t < ntenants; ++t) {
+    prefill(*sets_[static_cast<std::size_t>(t)], *bundle_.reclaimer, cfg_,
+            t);
+  }
+
+  // Open-loop traffic: ONE global schedule generated up front — a pure
+  // function of the config, never of the run — and worker w serves the
+  // events whose index is congruent to w mod nthreads. The schedule
+  // (hence the offered load) is byte-identical at every worker count;
+  // only the serving capacity changes.
+  std::vector<Arrival> schedule;
+  if (service) {
+    ArrivalConfig acfg;
+    acfg.process = cfg_.arrival == "burst" ? ArrivalConfig::Process::kBurst
+                                           : ArrivalConfig::Process::kPoisson;
+    acfg.rate_ops = cfg_.rate_ops;
+    acfg.duration_ns =
+        static_cast<std::uint64_t>(cfg_.measure_ms) * 1'000'000u;
+    acfg.seed = cfg_.seed;
+    acfg.insert_frac = cfg_.insert_frac;
+    acfg.erase_frac = cfg_.erase_frac;
+    acfg.keyrange = cfg_.keyrange;
+    acfg.zipf_s = cfg_.zipf_s;
+    acfg.phases = cfg_.phases;
+    acfg.tenants = ntenants;
+    acfg.tenant_weights = cfg_.tenant_weights;
+    schedule = generate_arrivals(acfg);
+  }
 
   std::atomic<bool> go{false};
   std::atomic<bool> stop{false};
+  // Service mode: per-worker-index schedule cursors. A churned-out
+  // incarnation parks its cursor at the next unserved event, and the
+  // replacement thread resumes exactly there — the schedule is served
+  // once regardless of churn.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> cursors;
+  if (service) {
+    cursors.reset(new std::atomic<std::uint64_t>[static_cast<std::size_t>(
+        nthreads)]);
+    for (int i = 0; i < nthreads; ++i) {
+      cursors[static_cast<std::size_t>(i)].store(
+          static_cast<std::uint64_t>(i), std::memory_order_relaxed);
+    }
+  }
+  // Completed-op counts per tenant (only reported multi-tenant, but the
+  // single slot is cheap enough to keep unconditionally).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> tenant_done(
+      new std::atomic<std::uint64_t>[static_cast<std::size_t>(ntenants)]);
+  for (int t = 0; t < ntenants; ++t) {
+    tenant_done[static_cast<std::size_t>(t)].store(
+        0, std::memory_order_relaxed);
+  }
+  // The measured window's opening instant, published before `go` so
+  // service workers can place scheduled arrivals on the wall clock.
+  std::atomic<std::uint64_t> epoch_ns{0};
   // Per-worker-lane state: churn replaces the thread behind a lane, so
   // the op count accumulates atomically and the retire flag singles out
   // one incarnation without stopping the trial.
@@ -357,44 +607,127 @@ TrialResult Trial::run() {
 
   // One worker incarnation: registers its own ThreadHandle (released on
   // exit, so a churned-out thread's backlog is adopted or drained, never
-  // leaked), then drives its deterministic op stream until the trial
-  // stops or the churn controller retires this incarnation.
-  // `incarnation` seeds replacements onto fresh streams.
+  // leaked), then either drives its deterministic op stream (closed
+  // loop) or serves its residue class of the arrival schedule (service
+  // mode) until the trial stops or the churn controller retires this
+  // incarnation. `incarnation` seeds closed-loop replacements onto
+  // fresh streams; service replacements resume the shared cursor.
   auto worker_fn = [&](int widx, std::uint64_t incarnation) {
     smr::ThreadHandle handle = bundle_.reclaimer->register_thread();
-    OpStream ops(cfg_.seed,
-                 static_cast<int>(incarnation) * nthreads + widx,
-                 cfg_.insert_frac, cfg_.erase_frac, cfg_.keyrange);
-    ds::ConcurrentSet& set = *set_;
+    smr::FreeExecutor& ex = bundle_.reclaimer->executor();
     std::atomic<bool>& retire = retire_worker[static_cast<std::size_t>(widx)];
     // Hoisted: the recorder's armed state is fixed for the whole trial,
     // so the disabled path costs one register-held branch per op.
     const bool record_latency = latency_.enabled();
     const int lane = handle.slot();
-    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+    std::vector<std::uint64_t> done_by_tenant(
+        static_cast<std::size_t>(ntenants), 0);
     std::uint64_t done = 0;
-    while (!stop.load(std::memory_order_relaxed) &&
-           !retire.load(std::memory_order_relaxed)) {
-      const Op op = ops.next();
-      const std::uint64_t op_t0 = record_latency ? now_ns() : 0;
-      // Each ds operation opens its own smr::Guard (begin_op/end_op).
-      switch (op.kind) {
-        case Op::kInsert:
-          set.insert(handle, op.key);
-          break;
-        case Op::kErase:
-          set.erase(handle, op.key);
-          break;
-        case Op::kLookup:
-          set.contains(handle, op.key);
-          break;
+    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+    if (!service) {
+      OpStream ops(cfg_, static_cast<int>(incarnation) * nthreads + widx);
+      while (!stop.load(std::memory_order_relaxed) &&
+             !retire.load(std::memory_order_relaxed)) {
+        const Op op = ops.next();
+        ds::ConcurrentSet& set = *sets_[op.tenant];
+        if (multi) ex.set_lane_tenant(lane, static_cast<int>(op.tenant));
+        const std::uint64_t op_t0 = record_latency ? now_ns() : 0;
+        // Each ds operation opens its own smr::Guard (begin_op/end_op).
+        switch (op.kind) {
+          case Op::kInsert:
+            set.insert(handle, op.key);
+            break;
+          case Op::kErase:
+            set.erase(handle, op.key);
+            break;
+          case Op::kLookup:
+            set.contains(handle, op.key);
+            break;
+        }
+        if (record_latency) {
+          const std::uint64_t d = now_ns() - op_t0;
+          latency_.record(lane, op.kind, d);
+          tenant_latency_.record(static_cast<int>(op.tenant), d);
+        }
+        ++done_by_tenant[op.tenant];
+        ++done;
       }
-      if (record_latency) latency_.record(lane, now_ns() - op_t0);
-      ++done;
+    } else {
+      const std::uint64_t win_t0 = epoch_ns.load(std::memory_order_relaxed);
+      const std::uint64_t n = schedule.size();
+      std::atomic<std::uint64_t>& cursor =
+          cursors[static_cast<std::size_t>(widx)];
+      while (!stop.load(std::memory_order_relaxed) &&
+             !retire.load(std::memory_order_relaxed)) {
+        const std::uint64_t idx = cursor.load(std::memory_order_relaxed);
+        if (idx >= n) break;  // this residue class is fully served
+        const Arrival a = schedule[static_cast<std::size_t>(idx)];
+        const std::uint64_t due = win_t0 + a.t_ns;
+        // Open loop: hold the op until its scheduled instant — coarse
+        // sleep while far out, yield-spin near — without ever blocking
+        // past stop or churn retirement.
+        std::uint64_t now = now_ns();
+        bool bailed = false;
+        while (now < due) {
+          if (stop.load(std::memory_order_relaxed) ||
+              retire.load(std::memory_order_relaxed)) {
+            bailed = true;
+            break;
+          }
+          const std::uint64_t wait_ns = due - now;
+          if (wait_ns > 500'000) {
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(wait_ns - 250'000));
+          } else {
+            std::this_thread::yield();
+          }
+          now = now_ns();
+        }
+        if (bailed) break;  // the unserved event stays at the cursor
+        // Per-widx cursor: only this incarnation (or its churn
+        // replacement, after a join) advances it, so a plain store is
+        // enough.
+        cursor.store(idx + static_cast<std::uint64_t>(nthreads),
+                     std::memory_order_relaxed);
+        // Queueing delay is measured against the *scheduled* instant:
+        // past saturation `now` falls ever further behind `due` and the
+        // tail explodes while completed throughput plateaus.
+        queue_latency_.record(lane, now > due ? now - due : 0);
+        if (multi) ex.set_lane_tenant(lane, a.tenant);
+        ds::ConcurrentSet& set = *sets_[a.tenant];
+        const std::uint64_t op_t0 = record_latency ? now_ns() : 0;
+        switch (static_cast<Op::Kind>(a.kind)) {
+          case Op::kInsert:
+            set.insert(handle, a.key);
+            break;
+          case Op::kErase:
+            set.erase(handle, a.key);
+            break;
+          case Op::kLookup:
+            set.contains(handle, a.key);
+            break;
+        }
+        if (record_latency) {
+          const std::uint64_t d = now_ns() - op_t0;
+          latency_.record(lane, a.kind, d);
+          tenant_latency_.record(a.tenant, d);
+        }
+        ++done_by_tenant[a.tenant];
+        ++done;
+      }
     }
     counts[static_cast<std::size_t>(widx)].fetch_add(
         done, std::memory_order_relaxed);
+    for (int t = 0; t < ntenants; ++t) {
+      tenant_done[static_cast<std::size_t>(t)].fetch_add(
+          done_by_tenant[static_cast<std::size_t>(t)],
+          std::memory_order_relaxed);
+    }
   };
+
+  // The daemon spans the whole measured window (and the brief worker
+  // spawn ramp): start() registers its handle and begins ticking now.
+  if (daemon_) daemon_->start();
 
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(nthreads));
@@ -405,6 +738,9 @@ TrialResult Trial::run() {
   const alloc::AllocStats alloc_before = allocator_->stats();
   const smr::SmrStats smr_before = bundle_.reclaimer->stats();
   const std::uint64_t t0 = now_ns();
+  // Published before the `go` release below, so every service worker
+  // reads the window's opening instant exactly once.
+  epoch_ns.store(t0, std::memory_order_relaxed);
   timeline_.reset(lanes, t0, cfg_.timeline_min_duration_ns,
                   cfg_.enable_timeline);
   garbage_.reset(cfg_.enable_garbage);
@@ -448,6 +784,14 @@ TrialResult Trial::run() {
           s.drain_quota = sched.drain_quota(busiest);
           s.population = bundle_.reclaimer->active_slots();
           schedule_trace.push_back(s);
+          if (cfg_.enable_garbage) {
+            // The schemes only report to the census while ops run; in an
+            // open-loop quiet phase the executor-held backlog *is* the
+            // garbage story, so the sampler feeds it in under the
+            // current epoch (record keeps the per-epoch max).
+            garbage_.record(bundle_.reclaimer->stats().epochs_advanced,
+                            total);
+          }
         }
         std::this_thread::sleep_for(std::chrono::milliseconds(sample_ms));
       }
@@ -492,9 +836,23 @@ TrialResult Trial::run() {
   const std::uint64_t t1 = now_ns();
   for (std::thread& w : workers) w.join();
   if (sampler.joinable()) sampler.join();
+  // The daemon's window ends with the workers': joined before the
+  // after-snapshots so its drains land inside the window or not at all,
+  // and well before flush_all / teardown touch the executors.
+  if (daemon_) daemon_->stop();
 
   const alloc::AllocStats alloc_after = allocator_->stats();
   const smr::SmrStats smr_after = bundle_.reclaimer->stats();
+  // Per-tenant ledgers snapshot *before* the teardown flush below wipes
+  // the end-of-window backlog.
+  std::vector<smr::TenantStats> tenant_after;
+  if (multi) {
+    smr::FreeExecutor& ex = bundle_.reclaimer->executor();
+    tenant_after.reserve(static_cast<std::size_t>(ntenants));
+    for (int t = 0; t < ntenants; ++t) {
+      tenant_after.push_back(ex.tenant_stats(t));
+    }
+  }
 
   // Teardown frees are not part of the story the instruments tell.
   timeline_.disarm();
@@ -526,6 +884,47 @@ TrialResult Trial::run() {
   r.lat_p99_ns = latency_percentile(lat, 0.99);
   r.lat_p999_ns = latency_percentile(lat, 0.999);
   r.lat_max_ns = lat.max_ns;
+  for (int k = 0; k < 3; ++k) {
+    const LatencyHistogram h = latency_.merged_channel(k);
+    TrialResult::OpKindLatency& kl = r.kind_lat[k];
+    kl.ops = h.count;
+    kl.p50_ns = latency_percentile(h, 0.50);
+    kl.p99_ns = latency_percentile(h, 0.99);
+    kl.p999_ns = latency_percentile(h, 0.999);
+    kl.max_ns = h.max_ns;
+  }
+  if (service) {
+    r.arrivals_offered = schedule.size();
+    r.arrivals_completed = r.ops;
+    const LatencyHistogram q = queue_latency_.merged();
+    r.q_ops = q.count;
+    r.q_p50_ns = latency_percentile(q, 0.50);
+    r.q_p99_ns = latency_percentile(q, 0.99);
+    r.q_p999_ns = latency_percentile(q, 0.999);
+    r.q_max_ns = q.max_ns;
+  }
+  if (multi) {
+    r.tenant.resize(static_cast<std::size_t>(ntenants));
+    for (int t = 0; t < ntenants; ++t) {
+      TrialResult::TenantResult& tr = r.tenant[static_cast<std::size_t>(t)];
+      const smr::TenantStats& ts = tenant_after[static_cast<std::size_t>(t)];
+      tr.retired = ts.retired;
+      tr.enqueued = ts.enqueued;
+      tr.drained = ts.drained;
+      tr.backlog_end = ts.backlog;
+      tr.completed = tenant_done[static_cast<std::size_t>(t)].load(
+          std::memory_order_relaxed);
+      tr.lat_p999_ns =
+          latency_percentile(tenant_latency_.lane_histogram(t), 0.999);
+    }
+  }
+  if (daemon_) {
+    const smr::ReclaimerDaemon::Stats ds = daemon_->stats();
+    r.daemon_ticks = ds.ticks;
+    r.daemon_quiet_ticks = ds.quiet_ticks;
+    r.daemon_pressure_ticks = ds.pressure_ticks;
+    r.daemon_drained = ds.drained;
+  }
   r.peak_bytes_mapped = alloc_after.peak_bytes_mapped;
   r.smr_stats = smr_after;
   r.epochs_in_window =

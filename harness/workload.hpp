@@ -11,11 +11,13 @@
 #include <vector>
 
 #include "alloc/allocator.hpp"
+#include "core/arrival.hpp"
 #include "core/garbage.hpp"
 #include "core/latency.hpp"
 #include "core/rng.hpp"
 #include "core/timeline.hpp"
 #include "smr/reclaimer.hpp"
+#include "smr/reclaimer_daemon.hpp"
 
 namespace emr::ds {
 class ConcurrentSet;
@@ -56,6 +58,35 @@ struct TrialConfig {
   /// the sampler thread then pumps every schedule_sample_ms.
   bool enable_latency = false;
   std::uint64_t timeline_min_duration_ns = 10'000;
+  // ---- service mode (docs/SERVICE_MODE.md) ----
+  /// "closed" runs the classic closed loop (workers issue back to back);
+  /// "poisson" | "burst" switch to open-loop traffic: a seeded arrival
+  /// schedule (core/arrival.hpp) is generated up front and workers serve
+  /// it on time, recording queueing delay separately from service
+  /// latency. EMR_ARRIVAL.
+  std::string arrival = "closed";
+  /// Open-loop mean offered load, ops/s across all workers. EMR_RATE_OPS.
+  double rate_ops = 100'000;
+  /// Zipfian key skew (0 = uniform). Applies to open-loop schedules and
+  /// to the closed-loop OpStream alike. EMR_ZIPF_S.
+  double zipf_s = 0.0;
+  /// Rate multipliers over equal slices of the window, e.g. "2,0.05" =
+  /// busy half then near-idle tail. EMR_PHASES.
+  std::vector<double> phases = {1.0};
+  /// Multi-tenant reclamation domains: N independent ds/ instances
+  /// sharing one reclaimer bundle, with per-tenant retire/backlog
+  /// accounting in the executor. 1 compiles the tenant paths out.
+  /// EMR_TENANTS.
+  int tenants = 1;
+  /// Per-event tenant draw weights; empty = uniform. EMR_TENANT_WEIGHTS.
+  std::vector<double> tenant_weights;
+  /// Background reclaimer daemon level: "off" | "optimistic" |
+  /// "aggressive" (smr/reclaimer_daemon.hpp). "off" leaves the bundle
+  /// instruction-identical to the pre-daemon harness.
+  /// EMR_RECLAIMER_DAEMON.
+  std::string reclaimer_daemon = "off";
+  /// Daemon tick period. EMR_DAEMON_MS.
+  int daemon_period_ms = 1;
   smr::SmrConfig smr;
   alloc::AllocConfig alloc;
 };
@@ -69,8 +100,14 @@ void apply_env_overrides(TrialConfig& cfg);
 /// schedule_sample_ms, a negative churn_interval_ms or churn on a
 /// single thread, and unknown ds / reclaimer / allocator names each
 /// throw std::invalid_argument naming the valid ranges/choices instead
-/// of silently defaulting. Trial's constructor runs this on every
-/// config.
+/// of silently defaulting. The service knobs are policed the same way:
+/// an unknown arrival process or daemon level, a non-positive /
+/// non-finite rate_ops, a negative zipf_s, an empty (or non-finite /
+/// non-positive) phase list, tenants < 1, a weight list whose length
+/// disagrees with tenants, a daemon_period_ms < 1, and an open-loop
+/// schedule whose expected event count exceeds core/arrival.hpp's
+/// kMaxArrivals all throw naming the valid range. Trial's constructor
+/// runs this on every config.
 void validate_config(const TrialConfig& cfg);
 
 /// A TrialConfig built from defaults + every EMR_* override.
@@ -91,18 +128,22 @@ struct Op {
   enum Kind : std::uint8_t { kInsert = 0, kErase = 1, kLookup = 2 };
   Kind kind;
   std::uint64_t key;
+  /// Which tenant's structure the op targets (always 0 single-tenant).
+  std::uint32_t tenant = 0;
 };
 
 /// Deterministic per-thread operation stream: the same (config seed, tid)
 /// always replays the same ops, so reclaimers are compared on identical
-/// work.
+/// work. The 5-arg constructor is the legacy uniform single-tenant
+/// stream; the TrialConfig constructor additionally honours zipf_s key
+/// skew and multi-tenant draws — but with zipf_s == 0 and tenants <= 1
+/// it consumes exactly the same random draws, so legacy streams stay
+/// bit-identical.
 class OpStream {
  public:
   OpStream(std::uint64_t seed, int tid, double insert_frac,
            double erase_frac, std::uint64_t keyrange);
-  OpStream(const TrialConfig& cfg, int tid)
-      : OpStream(cfg.seed, tid, cfg.insert_frac, cfg.erase_frac,
-                 cfg.keyrange) {}
+  OpStream(const TrialConfig& cfg, int tid);
 
   Op next();
 
@@ -111,6 +152,9 @@ class OpStream {
   double insert_frac_;
   double erase_frac_;
   std::uint64_t keyrange_;
+  std::unique_ptr<Zipf> zipf_;  // null = uniform keys (legacy draw)
+  int tenants_ = 1;
+  std::vector<double> tenant_cdf_;  // empty = uniform tenant draw
 };
 
 /// One point of the free-schedule timeline (enable_schedule_trace).
@@ -153,6 +197,49 @@ struct TrialResult {
   double lat_p99_ns = 0;
   double lat_p999_ns = 0;
   std::uint64_t lat_max_ns = 0;
+  /// Per-op-kind service latency split (insert/erase/lookup), from the
+  /// recorder's channels; indexed by Op::Kind. Zeros when the recorder
+  /// is disarmed.
+  struct OpKindLatency {
+    std::uint64_t ops = 0;
+    double p50_ns = 0;
+    double p99_ns = 0;
+    double p999_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+  OpKindLatency kind_lat[3];
+  /// Service mode: how many arrivals the schedule offered inside the
+  /// window vs how many the workers completed (equal unless the trial
+  /// was stopped saturated), and the queueing-delay distribution —
+  /// service start minus scheduled arrival, the open-loop signal that
+  /// explodes past saturation while closed-loop mops stays flat.
+  /// Zeros in closed-loop trials.
+  std::uint64_t arrivals_offered = 0;
+  std::uint64_t arrivals_completed = 0;
+  std::uint64_t q_ops = 0;
+  double q_p50_ns = 0;
+  double q_p99_ns = 0;
+  double q_p999_ns = 0;
+  std::uint64_t q_max_ns = 0;
+  /// Per-tenant accounting (empty unless tenants > 1). Retired counts
+  /// are per-retire exact; enqueued/drained attribute whole adopted bags
+  /// to the retiring lane's tenant, and backlog_end = enqueued - drained
+  /// at the window close. completed/p999 come from the per-tenant
+  /// service-latency recorder.
+  struct TenantResult {
+    std::uint64_t retired = 0;
+    std::uint64_t enqueued = 0;
+    std::uint64_t drained = 0;
+    std::uint64_t backlog_end = 0;
+    std::uint64_t completed = 0;
+    double lat_p999_ns = 0;
+  };
+  std::vector<TenantResult> tenant;
+  /// Daemon activity over the trial (zeros when reclaimer_daemon "off").
+  std::uint64_t daemon_ticks = 0;
+  std::uint64_t daemon_quiet_ticks = 0;
+  std::uint64_t daemon_pressure_ticks = 0;
+  std::uint64_t daemon_drained = 0;
 };
 
 struct AggregateResult {
@@ -182,10 +269,18 @@ class Trial {
   Timeline& timeline() { return timeline_; }
   GarbageCensus& garbage() { return garbage_; }
   LatencyRecorder& latency() { return latency_; }
+  LatencyRecorder& queue_latency() { return queue_latency_; }
   smr::Reclaimer& reclaimer() { return *bundle_.reclaimer; }
   smr::FreeSchedule& schedule() { return *bundle_.schedule; }
   alloc::Allocator& allocator() { return *allocator_; }
-  ds::ConcurrentSet& set() { return *set_; }
+  /// Tenant 0's structure (the only one single-tenant).
+  ds::ConcurrentSet& set() { return *sets_[0]; }
+  ds::ConcurrentSet& set(int tenant) {
+    return *sets_[static_cast<std::size_t>(tenant)];
+  }
+  int tenant_count() const { return static_cast<int>(sets_.size()); }
+  /// Null when reclaimer_daemon == "off".
+  smr::ReclaimerDaemon* daemon() { return daemon_.get(); }
   const TrialConfig& config() const { return cfg_; }
 
  private:
@@ -193,11 +288,20 @@ class Trial {
   Timeline timeline_;
   GarbageCensus garbage_;
   LatencyRecorder latency_;
+  /// Open-loop queueing delay, one channel; disarmed in closed loops.
+  LatencyRecorder queue_latency_;
+  /// Per-tenant service latency: one "lane" per tenant; armed only for
+  /// multi-tenant trials with the main recorder on.
+  LatencyRecorder tenant_latency_;
   std::unique_ptr<alloc::Allocator> allocator_;
   smr::ReclaimerBundle bundle_;
-  // Declared after the bundle: the structure's destructor returns its
-  // reachable nodes through the reclaimer, so it must be destroyed first.
-  std::unique_ptr<ds::ConcurrentSet> set_;
+  // Declared after the bundle: the structures' destructors return their
+  // reachable nodes through the reclaimer, so they must be destroyed
+  // first. One set per tenant; sets_[0] is the classic single domain.
+  std::vector<std::unique_ptr<ds::ConcurrentSet>> sets_;
+  // Declared last: the daemon joins (and stops touching the bundle)
+  // before anything it reads is torn down.
+  std::unique_ptr<smr::ReclaimerDaemon> daemon_;
   bool ran_ = false;
 };
 

@@ -12,7 +12,21 @@ FreeExecutor::FreeExecutor(const SmrContext& ctx, const SmrConfig& cfg,
     : ctx_(ctx),
       schedule_(schedule),
       stats_hungry_(schedule->consumes_lane_stats()),
-      lanes_(cfg.slot_capacity()) {}
+      tenants_(cfg.tenants < 1 ? 1 : cfg.tenants),
+      multi_tenant_(tenants_ > 1),
+      lanes_(cfg.slot_capacity()) {
+  if (multi_tenant_) {
+    // Value-initialized atomic grids: every counter starts at zero.
+    const std::size_t cells =
+        lanes_.size() * static_cast<std::size_t>(tenants_);
+    tenant_retired_ =
+        std::make_unique<std::atomic<std::uint64_t>[]>(cells);
+    tenant_enqueued_ =
+        std::make_unique<std::atomic<std::uint64_t>[]>(cells);
+    tenant_drained_ =
+        std::make_unique<std::atomic<std::uint64_t>[]>(cells);
+  }
+}
 
 FreeExecutor::LaneState& FreeExecutor::lane_state(int lane) {
   const std::size_t i = static_cast<std::size_t>(lane);
@@ -34,17 +48,17 @@ void* FreeExecutor::alloc_node(int lane, std::size_t size) {
   return p;
 }
 
-void FreeExecutor::timed_free(int lane, void* p) {
+void FreeExecutor::timed_free_as(int stats_lane, int alloc_lane, void* p) {
   Timeline* tl = ctx_.timeline;
   if (tl != nullptr && tl->enabled()) {
     const std::uint64_t t0 = now_ns();
-    ctx_.allocator->deallocate(lane, p);
-    tl->record(lane, EventKind::kFreeCall, t0, now_ns());
+    ctx_.allocator->deallocate(alloc_lane, p);
+    tl->record(alloc_lane, EventKind::kFreeCall, t0, now_ns());
   } else {
-    ctx_.allocator->deallocate(lane, p);
+    ctx_.allocator->deallocate(alloc_lane, p);
   }
   freed_.fetch_add(1, std::memory_order_relaxed);
-  lane_state(lane).drained.fetch_add(1, std::memory_order_relaxed);
+  lane_state(stats_lane).drained.fetch_add(1, std::memory_order_relaxed);
 }
 
 void FreeExecutor::on_adopted(int lane, std::vector<void*>&& bag) {
@@ -52,21 +66,38 @@ void FreeExecutor::on_adopted(int lane, std::vector<void*>&& bag) {
   LaneState& l = lane_state(lane);
   l.enqueued.fetch_add(bag.size(), std::memory_order_relaxed);
   l.adopted_total.fetch_add(bag.size(), std::memory_order_relaxed);
+  const std::uint32_t tenant = lane_tenant(lane);
+  note_tenant_enqueued(lane, tenant, bag.size());
+  LaneLock lock(l, daemon_hooked_);
   for (void* p : bag) l.adopted.push_back(p);
+  if (multi_tenant_) {
+    l.adopted_tags.insert(l.adopted_tags.end(), bag.size(), tenant);
+  }
   l.adopted_backlog.store(l.adopted.size(), std::memory_order_relaxed);
 }
 
 std::size_t FreeExecutor::drain_adopted(int lane, std::size_t quota) {
   LaneState& l = lane_state(lane);
-  if (quota == 0 || l.adopted.empty()) return 0;
+  if (quota == 0 ||
+      l.adopted_backlog.load(std::memory_order_relaxed) == 0) {
+    return 0;
+  }
   const std::uint64_t t0 = stats_hungry_ ? now_ns() : 0;
   std::size_t n = 0;
-  while (n < quota && !l.adopted.empty()) {
-    timed_free(lane, l.adopted.front());
-    l.adopted.pop_front();
-    ++n;
+  {
+    LaneLock lock(l, daemon_hooked_);
+    while (n < quota && !l.adopted.empty()) {
+      void* p = l.adopted.front();
+      l.adopted.pop_front();
+      if (multi_tenant_) {
+        note_tenant_drained(lane, l.adopted_tags.front(), 1);
+        l.adopted_tags.pop_front();
+      }
+      timed_free(lane, p);
+      ++n;
+    }
+    l.adopted_backlog.store(l.adopted.size(), std::memory_order_relaxed);
   }
-  l.adopted_backlog.store(l.adopted.size(), std::memory_order_relaxed);
   if (stats_hungry_) {
     l.drain_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
     l.timed_drained.fetch_add(n, std::memory_order_relaxed);
@@ -77,18 +108,47 @@ std::size_t FreeExecutor::drain_adopted(int lane, std::size_t quota) {
 void FreeExecutor::on_op_end(int lane) {
   LaneState& l = lane_state(lane);
   l.ops.fetch_add(1, std::memory_order_relaxed);
-  if (!l.adopted.empty()) {
+  if (l.adopted_backlog.load(std::memory_order_relaxed) != 0) {
     drain_adopted(lane, drain_quota_for(lane));
   }
 }
 
 void FreeExecutor::quiesce(int lane) {
   LaneState& l = lane_state(lane);
+  LaneLock lock(l, daemon_hooked_);
   while (!l.adopted.empty()) {
-    timed_free(lane, l.adopted.front());
+    void* p = l.adopted.front();
     l.adopted.pop_front();
+    if (multi_tenant_) {
+      note_tenant_drained(lane, l.adopted_tags.front(), 1);
+      l.adopted_tags.pop_front();
+    }
+    timed_free(lane, p);
   }
   l.adopted_backlog.store(0, std::memory_order_relaxed);
+}
+
+std::size_t FreeExecutor::daemon_drain(int lane, std::size_t quota,
+                                       int daemon_lane) {
+  LaneState& l = lane_state(lane);
+  if (quota == 0 ||
+      l.adopted_backlog.load(std::memory_order_relaxed) == 0) {
+    return 0;
+  }
+  std::size_t n = 0;
+  LaneLock lock(l, true);
+  while (n < quota && !l.adopted.empty()) {
+    void* p = l.adopted.front();
+    l.adopted.pop_front();
+    if (multi_tenant_) {
+      note_tenant_drained(lane, l.adopted_tags.front(), 1);
+      l.adopted_tags.pop_front();
+    }
+    timed_free_as(lane, daemon_lane, p);
+    ++n;
+  }
+  l.adopted_backlog.store(l.adopted.size(), std::memory_order_relaxed);
+  return n;
 }
 
 std::uint64_t FreeExecutor::backlog() const {
@@ -111,7 +171,37 @@ LaneStats FreeExecutor::lane_stats(int lane) const {
               lane_backlog(lane);
   s.drain_ns = l.drain_ns.load(std::memory_order_relaxed);
   s.timed_drained = l.timed_drained.load(std::memory_order_relaxed);
+  if (multi_tenant_) {
+    const std::size_t t_count = static_cast<std::size_t>(tenants_);
+    s.tenant_enqueued.resize(t_count);
+    s.tenant_drained.resize(t_count);
+    for (std::size_t t = 0; t < t_count; ++t) {
+      const std::size_t cell =
+          tenant_cell(lane, static_cast<std::uint32_t>(t));
+      s.tenant_drained[t] =
+          tenant_drained_[cell].load(std::memory_order_relaxed);
+      s.tenant_enqueued[t] =
+          tenant_enqueued_[cell].load(std::memory_order_relaxed);
+    }
+  }
   return s;
+}
+
+TenantStats FreeExecutor::tenant_stats(int tenant) const {
+  TenantStats out;
+  if (!multi_tenant_ || tenant < 0 || tenant >= tenants_) return out;
+  const auto t = static_cast<std::uint32_t>(tenant);
+  for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
+    const std::size_t cell = tenant_cell(static_cast<int>(lane), t);
+    out.retired += tenant_retired_[cell].load(std::memory_order_relaxed);
+    // drained before enqueued: enqueue counters are bumped before nodes
+    // enter a backlog and drain counters after they leave, so this read
+    // order keeps the derived backlog non-negative.
+    out.drained += tenant_drained_[cell].load(std::memory_order_relaxed);
+    out.enqueued += tenant_enqueued_[cell].load(std::memory_order_relaxed);
+  }
+  out.backlog = out.enqueued > out.drained ? out.enqueued - out.drained : 0;
+  return out;
 }
 
 // ---------------------------------------------------------------- batch
@@ -120,6 +210,14 @@ void BatchFreeExecutor::on_reclaimable(int lane, std::vector<void*>&& bag) {
   if (bag.empty()) return;
   lane_state(lane).enqueued.fetch_add(bag.size(),
                                       std::memory_order_relaxed);
+  if (multi_tenant_) {
+    // The whole bag is freed on the spot: it enters and leaves the
+    // tenant's books in one step (bag-granularity attribution to the
+    // lane's current tenant, like every executor hand-over).
+    const std::uint32_t tenant = lane_tenant(lane);
+    note_tenant_enqueued(lane, tenant, bag.size());
+    note_tenant_drained(lane, tenant, bag.size());
+  }
   Timeline* tl = ctx_.timeline;
   const bool instrumented = tl != nullptr && tl->enabled();
   const std::uint64_t t0 = instrumented ? now_ns() : 0;
@@ -141,10 +239,16 @@ AmortizedFreeExecutor::Freeable& AmortizedFreeExecutor::lane(int lane_idx) {
 
 void AmortizedFreeExecutor::on_reclaimable(int lane_idx,
                                            std::vector<void*>&& bag) {
-  lane_state(lane_idx).enqueued.fetch_add(bag.size(),
-                                          std::memory_order_relaxed);
+  LaneState& l = lane_state(lane_idx);
+  l.enqueued.fetch_add(bag.size(), std::memory_order_relaxed);
+  const std::uint32_t tenant = lane_tenant(lane_idx);
+  note_tenant_enqueued(lane_idx, tenant, bag.size());
   Freeable& f = lane(lane_idx);
+  LaneLock lock(l, daemon_hooked_);
   for (void* p : bag) f.nodes.push_back(p);
+  if (multi_tenant_) {
+    f.tags.insert(f.tags.end(), bag.size(), tenant);
+  }
   f.size.store(f.nodes.size(), std::memory_order_relaxed);
 }
 
@@ -162,16 +266,26 @@ std::size_t AmortizedFreeExecutor::drain_freeable(int lane_idx,
                                                   std::size_t quota,
                                                   std::size_t floor) {
   Freeable& f = lane(lane_idx);
-  if (quota == 0 || f.nodes.size() <= floor) return 0;
+  if (quota == 0 || f.size.load(std::memory_order_relaxed) <= floor) {
+    return 0;
+  }
   LaneState& l = lane_state(lane_idx);
   const std::uint64_t t0 = stats_hungry_ ? now_ns() : 0;
   std::size_t n = 0;
-  while (n < quota && f.nodes.size() > floor) {
-    timed_free(lane_idx, f.nodes.front());
-    f.nodes.pop_front();
-    ++n;
+  {
+    LaneLock lock(l, daemon_hooked_);
+    while (n < quota && f.nodes.size() > floor) {
+      void* p = f.nodes.front();
+      f.nodes.pop_front();
+      if (multi_tenant_) {
+        note_tenant_drained(lane_idx, f.tags.front(), 1);
+        f.tags.pop_front();
+      }
+      timed_free(lane_idx, p);
+      ++n;
+    }
+    f.size.store(f.nodes.size(), std::memory_order_relaxed);
   }
-  f.size.store(f.nodes.size(), std::memory_order_relaxed);
   if (stats_hungry_) {
     l.drain_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
     l.timed_drained.fetch_add(n, std::memory_order_relaxed);
@@ -192,11 +306,44 @@ void AmortizedFreeExecutor::on_op_end(int lane_idx) {
 void AmortizedFreeExecutor::quiesce(int lane_idx) {
   FreeExecutor::quiesce(lane_idx);
   Freeable& f = lane(lane_idx);
+  LaneLock lock(lane_state(lane_idx), daemon_hooked_);
   while (!f.nodes.empty()) {
-    timed_free(lane_idx, f.nodes.front());
+    void* p = f.nodes.front();
     f.nodes.pop_front();
+    if (multi_tenant_) {
+      note_tenant_drained(lane_idx, f.tags.front(), 1);
+      f.tags.pop_front();
+    }
+    timed_free(lane_idx, p);
   }
   f.size.store(0, std::memory_order_relaxed);
+}
+
+std::size_t AmortizedFreeExecutor::daemon_drain(int lane_idx,
+                                                std::size_t quota,
+                                                int daemon_lane) {
+  // The adoption queue first (base behaviour), then the freeable
+  // backlog — two separate critical sections so the lane owner can
+  // interleave. Pool inventory under daemon_floor() stays put.
+  std::size_t n = FreeExecutor::daemon_drain(lane_idx, quota, daemon_lane);
+  Freeable& f = lane(lane_idx);
+  const std::size_t floor = daemon_floor();
+  if (n >= quota || f.size.load(std::memory_order_relaxed) <= floor) {
+    return n;
+  }
+  LaneLock lock(lane_state(lane_idx), true);
+  while (n < quota && f.nodes.size() > floor) {
+    void* p = f.nodes.front();
+    f.nodes.pop_front();
+    if (multi_tenant_) {
+      note_tenant_drained(lane_idx, f.tags.front(), 1);
+      f.tags.pop_front();
+    }
+    timed_free_as(lane_idx, daemon_lane, p);
+    ++n;
+  }
+  f.size.store(f.nodes.size(), std::memory_order_relaxed);
+  return n;
 }
 
 std::uint64_t AmortizedFreeExecutor::lane_backlog(int lane_idx) const {
@@ -220,14 +367,21 @@ void* PoolingFreeExecutor::alloc_node(int lane_idx, std::size_t size) {
                                        std::memory_order_relaxed);
   Freeable& f = lane(lane_idx);
   if (size == common_size_.load(std::memory_order_relaxed) &&
-      !f.nodes.empty()) {
-    void* p = f.nodes.front();
-    f.nodes.pop_front();
-    f.size.store(f.nodes.size(), std::memory_order_relaxed);
-    pooled_allocs_.fetch_add(1, std::memory_order_relaxed);
-    freed_.fetch_add(1, std::memory_order_relaxed);  // left limbo via reuse
-    lane_state(lane_idx).drained.fetch_add(1, std::memory_order_relaxed);
-    return p;
+      f.size.load(std::memory_order_relaxed) != 0) {
+    LaneLock lock(lane_state(lane_idx), daemon_hooked_);
+    if (!f.nodes.empty()) {
+      void* p = f.nodes.front();
+      f.nodes.pop_front();
+      if (multi_tenant_) {
+        note_tenant_drained(lane_idx, f.tags.front(), 1);
+        f.tags.pop_front();
+      }
+      f.size.store(f.nodes.size(), std::memory_order_relaxed);
+      pooled_allocs_.fetch_add(1, std::memory_order_relaxed);
+      freed_.fetch_add(1, std::memory_order_relaxed);  // left limbo via reuse
+      lane_state(lane_idx).drained.fetch_add(1, std::memory_order_relaxed);
+      return p;
+    }
   }
   void* p =
       ctx_.allocator->allocate(lane_idx, std::max(size, sizeof(NodeHeader)));

@@ -51,16 +51,22 @@ class AmortizedFreeExecutor : public FreeExecutor {
   void on_adopted(int lane, std::vector<void*>&& bag) override;
   void on_op_end(int lane) override;
   void quiesce(int lane) override;
+  std::size_t daemon_drain(int lane, std::size_t quota,
+                           int daemon_lane) override;
 
  protected:
   struct alignas(64) Freeable {
     std::deque<void*> nodes;
+    /// Tenant tags parallel to `nodes`; maintained only when the
+    /// bundle is multi-tenant (empty otherwise).
+    std::deque<std::uint32_t> tags;
     std::atomic<std::uint64_t> size{0};
   };
   Freeable& lane(int lane_idx);
   std::uint64_t lane_backlog(int lane_idx) const override;
   /// Frees up to `quota` nodes from the lane's freeable list (down to
   /// `floor` survivors — the pooling inventory); returns how many.
+  /// Takes the lane lock internally when a daemon is hooked.
   std::size_t drain_freeable(int lane_idx, std::size_t quota,
                              std::size_t floor);
   std::vector<Freeable> freeable_;

@@ -54,6 +54,15 @@ class FixedFreeSchedule final : public FreeSchedule {
   /// drain-cost clocking, keeping the paper-reproduction rows on the
   /// pre-policy-layer hot path.
   bool consumes_lane_stats() const override { return false; }
+  /// The per-op quantum is deliberately tiny (af_drain_per_op), so the
+  /// default daemon scaling would barely move backlog between ticks.
+  /// Off the op path a tick may swallow up to one sealed bag under
+  /// pressure, and a slice of one when merely quiet.
+  std::size_t daemon_quota(const LaneStats&, bool pressure) const override {
+    if (pressure) return batch_;
+    const std::size_t slice = batch_ / 8;
+    return drain_ > slice ? drain_ : slice;
+  }
 
  private:
   std::size_t drain_;
@@ -120,6 +129,16 @@ class LatencyTargetFreeSchedule final : public AdaptiveFreeSchedule {
   std::size_t drain_quota(const LaneStats& lane) const override;
   void on_tail_latency(std::uint64_t p999_ns) override;
   bool wants_latency_feedback() const override { return true; }
+  /// The tail scale exists to keep drain bursts off the *op* path; a
+  /// background-reclaimer tick frees off that path entirely, so its
+  /// quantum is the unscaled adaptive one. Without this the daemon
+  /// inherits the throttled op quota and the backlog the latency policy
+  /// deliberately defers can outlive the traffic that produced it.
+  std::size_t daemon_quota(const LaneStats& lane,
+                           bool pressure) const override {
+    const std::size_t q = AdaptiveFreeSchedule::drain_quota(lane);
+    return pressure ? q * 8 : q * 2;
+  }
 
   std::uint64_t target_ns() const { return target_ns_; }
   /// Current multiplier on the adaptive quantum, in 1/kScaleUnit units.

@@ -26,6 +26,13 @@ class PoolingFreeExecutor final : public AmortizedFreeExecutor {
     return pooled_allocs_.load(std::memory_order_relaxed);
   }
 
+ protected:
+  /// The background daemon must not strip the recycling inventory: only
+  /// backlog above the schedule's pool cap is reclamation debt.
+  std::size_t daemon_floor() const override {
+    return schedule_->pool_cap();
+  }
+
  private:
   std::atomic<std::size_t> common_size_{0};
   std::atomic<std::uint64_t> pooled_allocs_{0};

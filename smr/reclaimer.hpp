@@ -36,6 +36,7 @@
 
 #include "alloc/allocator.hpp"
 #include "core/garbage.hpp"
+#include "core/spinlock.hpp"
 #include "core/timeline.hpp"
 
 namespace emr::smr {
@@ -89,6 +90,12 @@ struct SmrConfig {
   /// under. Must be >= 1 for the latency schedule; other policies
   /// ignore it.
   std::uint64_t latency_target_us = 1000;
+  /// Reclamation tenants sharing this bundle (docs/SERVICE_MODE.md):
+  /// the executor keeps per-(lane, tenant) retire/enqueue/drain
+  /// counters so one tenant's garbage crowding out another is a
+  /// measurable number. 1 (the default) keeps every tenant-accounting
+  /// path compiled out of the hot loop. EMR_TENANTS.
+  int tenants = 1;
 
   /// Total registration slots: how many ThreadHandles may be live at
   /// once. Every per-thread array in the schemes, executors and modelled
@@ -140,6 +147,26 @@ struct LaneStats {
   /// skip the clock reads and leave both 0.
   std::uint64_t drain_ns = 0;
   std::uint64_t timed_drained = 0;
+  /// Per-tenant split of this lane's traffic, indexed by tenant id.
+  /// Populated by lane_stats() only when the bundle runs multiple
+  /// tenants (SmrConfig::tenants > 1) — single-tenant bundles leave the
+  /// vectors empty so the snapshot stays allocation-free. A tenant's
+  /// outstanding debt on the lane is enqueued - drained.
+  std::vector<std::uint64_t> tenant_enqueued;
+  std::vector<std::uint64_t> tenant_drained;
+};
+
+/// One tenant's bundle-wide totals, summed over lanes by
+/// FreeExecutor::tenant_stats(). `retired` counts Reclaimer::retire
+/// calls attributed to the tenant (debt enters limbo); `enqueued` those
+/// nodes reaching the executor (grace elapsed); `backlog` the ones the
+/// executor still holds (enqueued - drained). Scheme-side limbo is
+/// retired - enqueued.
+struct TenantStats {
+  std::uint64_t retired = 0;
+  std::uint64_t enqueued = 0;
+  std::uint64_t drained = 0;
+  std::uint64_t backlog = 0;
 };
 
 /// Free-schedule policy: every batching decision in the retire->free
@@ -198,6 +225,18 @@ class FreeSchedule {
   /// skip the per-op stats snapshot and the drain-cost clock reads on
   /// the hot path (drain_ns then stays zero).
   virtual bool consumes_lane_stats() const { return true; }
+
+  /// Nodes one background-reclaimer tick may free from this lane
+  /// (smr/reclaimer_daemon.hpp). The daemon runs off the op path, so
+  /// its quantum may exceed the per-op ceiling: the default scales the
+  /// op quota — gently when the system is merely quiet, harder under
+  /// backlog pressure. Called from the daemon thread concurrently with
+  /// drain_quota.
+  virtual std::size_t daemon_quota(const LaneStats& lane,
+                                   bool pressure) const {
+    const std::size_t q = drain_quota(lane);
+    return pressure ? q * 8 : q * 2;
+  }
 };
 
 struct SmrStats {
@@ -247,6 +286,12 @@ struct SmrStats {
 ///    lane; after quiesce has run for all lanes, backlog() == 0 and
 ///    total_freed() equals the number of nodes ever handed over (plus
 ///    pool recycles).
+///  - A background ReclaimerDaemon may call daemon_drain() on any lane
+///    concurrently with the lane owner — but only after the bundle was
+///    armed with set_daemon_hooked(true) *before threads started*. The
+///    hook turns on a per-lane spinlock around every backlog mutation;
+///    unhooked bundles never touch the lock, so daemon-off runs are
+///    instruction-identical to a build without the daemon.
 class FreeExecutor {
  public:
   FreeExecutor(const SmrContext& ctx, const SmrConfig& cfg,
@@ -305,12 +350,72 @@ class FreeExecutor {
 
   std::size_t lane_count() const { return lanes_.size(); }
 
+  // ---- multi-tenant accounting (SmrConfig::tenants > 1) ----
+
+  int tenant_count() const { return tenants_; }
+
+  /// Tags `lane`'s *subsequent* traffic — retires, hand-overs, drains —
+  /// with `tenant`. The harness stores the tenant before each op;
+  /// relaxed is enough because only the lane owner reads it back on the
+  /// same call path. No-op bookkeeping when single-tenant.
+  void set_lane_tenant(int lane, std::uint32_t tenant) {
+    if (multi_tenant_) {
+      lanes_[static_cast<std::size_t>(lane)].tenant.store(
+          clamp_tenant(tenant), std::memory_order_relaxed);
+    }
+  }
+
+  std::uint32_t lane_tenant(int lane) const {
+    return lanes_[static_cast<std::size_t>(lane)].tenant.load(
+        std::memory_order_relaxed);
+  }
+
+  /// One retire on `lane` attributed to its current tenant. Called by
+  /// Reclaimer::retire() — a single relaxed RMW, and a plain branch
+  /// when single-tenant.
+  void note_tenant_retired(int lane) {
+    if (!multi_tenant_) return;
+    tenant_retired_[tenant_cell(lane, lane_tenant(lane))].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  /// One tenant's totals summed over lanes. Readable from any thread;
+  /// zeros when single-tenant or out of range.
+  TenantStats tenant_stats(int tenant) const;
+
+  // ---- background-daemon hooks (smr/reclaimer_daemon.hpp) ----
+
+  /// Arms (or disarms) the per-lane locking that makes daemon_drain
+  /// safe against lane owners. Must be called while no thread is inside
+  /// an operation and no daemon is running — the harness flips it once
+  /// at trial setup. Plain bool: the arming itself is not a
+  /// synchronization point.
+  void set_daemon_hooked(bool on) { daemon_hooked_ = on; }
+  bool daemon_hooked() const { return daemon_hooked_; }
+
+  /// Frees up to `quota` nodes of `lane`'s backlog from the daemon
+  /// thread, whose own registration slot is `daemon_lane` — the frees
+  /// go to the daemon's allocator lane (its thread cache), the stats to
+  /// the drained lane. Pool inventory at or under daemon_floor() is
+  /// deliberately left alone. Requires daemon_hooked(); returns nodes
+  /// freed.
+  virtual std::size_t daemon_drain(int lane, std::size_t quota,
+                                   int daemon_lane);
+
  protected:
   struct alignas(64) LaneState {
     /// Departure hand-offs awaiting the amortized adoption drain. Only
     /// the lane's owning thread (or a registry hook while the slot is
-    /// unowned) touches the deque; the atomic mirrors are for readers.
+    /// unowned) touches the deque — plus, when a daemon is hooked, the
+    /// daemon under `mu`; the atomic mirrors are for readers.
     std::deque<void*> adopted;
+    /// Tenant tags parallel to `adopted`, maintained only when
+    /// multi-tenant (empty otherwise).
+    std::deque<std::uint32_t> adopted_tags;
+    /// Guards the backlog containers; taken only while a daemon is
+    /// hooked (uncontended test-and-set otherwise skipped entirely).
+    Spinlock mu;
+    std::atomic<std::uint32_t> tenant{0};
     std::atomic<std::uint64_t> ops{0};
     std::atomic<std::uint64_t> enqueued{0};
     std::atomic<std::uint64_t> drained{0};
@@ -320,13 +425,64 @@ class FreeExecutor {
     std::atomic<std::uint64_t> timed_drained{0};
   };
 
+  /// RAII lane lock that collapses to nothing while no daemon is
+  /// hooked — the common case pays one predictable branch.
+  class LaneLock {
+   public:
+    LaneLock(LaneState& l, bool hooked) : l_(hooked ? &l : nullptr) {
+      if (l_ != nullptr) l_->mu.lock();
+    }
+    ~LaneLock() {
+      if (l_ != nullptr) l_->mu.unlock();
+    }
+    LaneLock(const LaneLock&) = delete;
+    LaneLock& operator=(const LaneLock&) = delete;
+
+   private:
+    LaneState* l_;
+  };
+
   /// Frees one node through the allocator, timing it into the trial
   /// timeline as a kFreeCall when instrumentation is on.
-  void timed_free(int lane, void* p);
+  void timed_free(int lane, void* p) { timed_free_as(lane, lane, p); }
+
+  /// timed_free with split attribution: stats (drained counters) to
+  /// `stats_lane`, the allocator call and timeline event to
+  /// `alloc_lane` — the daemon frees on its own allocator lane so the
+  /// modelled thread caches stay single-owner.
+  void timed_free_as(int stats_lane, int alloc_lane, void* p);
 
   /// Frees up to `quota` nodes from the lane's adoption queue; returns
-  /// how many it freed.
+  /// how many it freed. Takes the lane lock internally when hooked.
   std::size_t drain_adopted(int lane, std::size_t quota);
+
+  std::size_t tenant_cell(int lane, std::uint32_t tenant) const {
+    return static_cast<std::size_t>(lane) *
+               static_cast<std::size_t>(tenants_) +
+           tenant;
+  }
+
+  std::uint32_t clamp_tenant(std::uint32_t t) const {
+    return t < static_cast<std::uint32_t>(tenants_) ? t : 0;
+  }
+
+  void note_tenant_enqueued(int lane, std::uint32_t t, std::uint64_t n) {
+    if (multi_tenant_ && n > 0) {
+      tenant_enqueued_[tenant_cell(lane, t)].fetch_add(
+          n, std::memory_order_relaxed);
+    }
+  }
+
+  void note_tenant_drained(int lane, std::uint32_t t, std::uint64_t n) {
+    if (multi_tenant_ && n > 0) {
+      tenant_drained_[tenant_cell(lane, t)].fetch_add(
+          n, std::memory_order_relaxed);
+    }
+  }
+
+  /// Backlog the daemon must not drain below (the pooling executor's
+  /// inventory cap — recycling stock is not debt).
+  virtual std::size_t daemon_floor() const { return 0; }
 
   /// The schedule's quantum for this lane's op end. Builds the stats
   /// snapshot only when the policy consumes it, so constant-quantum
@@ -349,8 +505,15 @@ class FreeExecutor {
   SmrContext ctx_;
   FreeSchedule* schedule_;
   bool stats_hungry_;  // schedule_->consumes_lane_stats(), cached
+  int tenants_;
+  bool multi_tenant_;
+  bool daemon_hooked_ = false;
   std::vector<LaneState> lanes_;
   std::atomic<std::uint64_t> freed_{0};
+  // lane-major [lane][tenant] grids, allocated only when multi-tenant.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> tenant_retired_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> tenant_enqueued_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> tenant_drained_;
 };
 
 /// RAII thread registration. A thread joins a reclaimer's population
@@ -487,7 +650,13 @@ class Reclaimer {
   /// per hop; all other schemes return true unconditionally.
   bool validate(ThreadHandle& h) { return validate_slot(check(h)); }
 
-  void retire(ThreadHandle& h, void* p) { retire_slot(check(h), p); }
+  void retire(ThreadHandle& h, void* p) {
+    const int slot = check(h);
+    // Attribute the debt to the lane's current tenant before it enters
+    // limbo (a plain branch when single-tenant).
+    executor().note_tenant_retired(slot);
+    retire_slot(slot, p);
+  }
 
   /// Node allocation goes through the reclaimer so pooling variants can
   /// serve it from the freeable list and era schemes can stamp birth

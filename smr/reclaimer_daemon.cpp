@@ -1,0 +1,123 @@
+#include "smr/reclaimer_daemon.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace emr::smr {
+
+namespace {
+
+/// Below this many completed ops per millisecond across all lanes the
+/// system counts as quiet — the optimistic level's cue that draining
+/// now costs the workers nothing.
+constexpr std::uint64_t kQuietOpsPerMs = 16;
+
+}  // namespace
+
+DaemonLevel daemon_level_from_name(const std::string& name) {
+  if (name == "off") return DaemonLevel::kOff;
+  if (name == "optimistic") return DaemonLevel::kOptimistic;
+  if (name == "aggressive") return DaemonLevel::kAggressive;
+  throw std::invalid_argument(
+      "unknown reclaimer-daemon level \"" + name +
+      "\" (EMR_RECLAIMER_DAEMON); valid levels: off optimistic "
+      "aggressive");
+}
+
+const char* daemon_level_name(DaemonLevel level) {
+  switch (level) {
+    case DaemonLevel::kOff:
+      return "off";
+    case DaemonLevel::kOptimistic:
+      return "optimistic";
+    case DaemonLevel::kAggressive:
+      return "aggressive";
+  }
+  return "off";
+}
+
+ReclaimerDaemon::ReclaimerDaemon(Reclaimer& r, DaemonLevel level,
+                                 int period_ms)
+    : r_(r), level_(level), period_ms_(period_ms < 1 ? 1 : period_ms) {}
+
+ReclaimerDaemon::~ReclaimerDaemon() { stop(); }
+
+void ReclaimerDaemon::start() {
+  if (level_ == DaemonLevel::kOff || running_.load()) return;
+  if (!r_.executor().daemon_hooked()) {
+    throw std::logic_error(
+        "ReclaimerDaemon::start: the executor was not armed with "
+        "set_daemon_hooked(true) — arm it before any thread operates "
+        "on the bundle");
+  }
+  handle_ = r_.register_thread();
+  stop_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void ReclaimerDaemon::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  handle_.release();
+  running_.store(false, std::memory_order_release);
+}
+
+ReclaimerDaemon::Stats ReclaimerDaemon::stats() const {
+  Stats s;
+  s.ticks = ticks_.load(std::memory_order_relaxed);
+  s.quiet_ticks = quiet_ticks_.load(std::memory_order_relaxed);
+  s.pressure_ticks = pressure_ticks_.load(std::memory_order_relaxed);
+  s.drained = drained_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ReclaimerDaemon::loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(period_ms_));
+    tick();
+  }
+}
+
+void ReclaimerDaemon::tick() {
+  FreeExecutor& ex = r_.executor();
+  FreeSchedule& sched = ex.schedule();
+  const int lanes = static_cast<int>(ex.lane_count());
+
+  std::uint64_t ops = 0;
+  std::uint64_t backlog = 0;
+  for (int lane = 0; lane < lanes; ++lane) {
+    const LaneStats ls = ex.lane_stats(lane);
+    ops += ls.ops;
+    backlog += ls.backlog;
+  }
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::uint64_t ops_delta = ops - last_ops_;
+  last_ops_ = ops;
+  const bool quiet =
+      ops_delta < kQuietOpsPerMs * static_cast<std::uint64_t>(period_ms_);
+  // Pressure: the executors hold more than two sealed bags' worth for
+  // the live population — op-driven draining has fallen behind.
+  std::size_t population = r_.active_slots();
+  if (population == 0) population = 1;
+  const bool pressure = backlog >= 2 * sched.scan_threshold(population);
+  if (quiet) quiet_ticks_.fetch_add(1, std::memory_order_relaxed);
+  if (pressure) pressure_ticks_.fetch_add(1, std::memory_order_relaxed);
+
+  const bool act = level_ == DaemonLevel::kAggressive || quiet || pressure;
+  if (!act || backlog == 0) return;
+
+  const int own_lane = handle_.slot();
+  for (int lane = 0; lane < lanes; ++lane) {
+    if (stop_.load(std::memory_order_acquire)) return;
+    const LaneStats ls = ex.lane_stats(lane);
+    if (ls.backlog == 0) continue;
+    const std::size_t quota = sched.daemon_quota(ls, pressure);
+    drained_.fetch_add(ex.daemon_drain(lane, quota, own_lane),
+                       std::memory_order_relaxed);
+  }
+}
+
+}  // namespace emr::smr

@@ -244,6 +244,141 @@ TEST(Env, ScheduleKnobsOverrideAndValidate) {
   EXPECT_THROW(harness::apply_env_overrides(cfg), std::invalid_argument);
 }
 
+TEST(Env, ServiceKnobsOverrideOnlyWhenPresent) {
+  EnvGuard env;
+  env.unset("EMR_ARRIVAL");
+  env.unset("EMR_RATE_OPS");
+  env.unset("EMR_ZIPF_S");
+  env.unset("EMR_PHASES");
+  env.unset("EMR_TENANTS");
+  env.unset("EMR_TENANT_WEIGHTS");
+  env.unset("EMR_RECLAIMER_DAEMON");
+  env.unset("EMR_DAEMON_MS");
+
+  harness::TrialConfig cfg;
+  cfg.rate_ops = 12'345;
+  harness::apply_env_overrides(cfg);
+  EXPECT_EQ(cfg.arrival, "closed");  // silent env leaves defaults alone
+  EXPECT_DOUBLE_EQ(cfg.rate_ops, 12'345);
+  EXPECT_DOUBLE_EQ(cfg.zipf_s, 0.0);
+  EXPECT_EQ(cfg.phases, (std::vector<double>{1.0}));
+  EXPECT_EQ(cfg.tenants, 1);
+  EXPECT_TRUE(cfg.tenant_weights.empty());
+  EXPECT_EQ(cfg.reclaimer_daemon, "off");
+  EXPECT_EQ(cfg.daemon_period_ms, 1);
+
+  env.set("EMR_ARRIVAL", "poisson");
+  env.set("EMR_RATE_OPS", "250000");
+  env.set("EMR_ZIPF_S", "0.99");
+  env.set("EMR_PHASES", "2,0.05");
+  env.set("EMR_TENANTS", "2");
+  env.set("EMR_TENANT_WEIGHTS", "10 1");
+  env.set("EMR_RECLAIMER_DAEMON", "aggressive");
+  env.set("EMR_DAEMON_MS", "5");
+  harness::apply_env_overrides(cfg);
+  EXPECT_EQ(cfg.arrival, "poisson");
+  EXPECT_DOUBLE_EQ(cfg.rate_ops, 250000.0);
+  EXPECT_DOUBLE_EQ(cfg.zipf_s, 0.99);
+  EXPECT_EQ(cfg.phases, (std::vector<double>{2.0, 0.05}));
+  EXPECT_EQ(cfg.tenants, 2);
+  EXPECT_EQ(cfg.tenant_weights, (std::vector<double>{10.0, 1.0}));
+  EXPECT_EQ(cfg.reclaimer_daemon, "aggressive");
+  EXPECT_EQ(cfg.daemon_period_ms, 5);
+  harness::validate_config(cfg);  // the combination is coherent
+}
+
+TEST(Env, ServiceListKnobsRejectBadTokensNamingThem) {
+  EnvGuard env;
+  harness::TrialConfig cfg;
+
+  env.set("EMR_PHASES", "2 nope 0.05");
+  try {
+    harness::apply_env_overrides(cfg);
+    FAIL() << "bad EMR_PHASES token must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("EMR_PHASES"), std::string::npos) << what;
+    EXPECT_NE(what.find("nope"), std::string::npos) << what;
+  }
+  env.unset("EMR_PHASES");
+
+  env.set("EMR_TENANT_WEIGHTS", "10,1x");
+  try {
+    harness::apply_env_overrides(cfg);
+    FAIL() << "bad EMR_TENANT_WEIGHTS token must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("EMR_TENANT_WEIGHTS"), std::string::npos) << what;
+    EXPECT_NE(what.find("1x"), std::string::npos) << what;
+  }
+}
+
+TEST(Env, ServiceKnobValidationNamesTheRange) {
+  // validate_config owns the range checks the overrides deliberately
+  // leave unclamped; every rejection names the field and its valid
+  // range instead of silently repairing the value.
+  auto expect_naming = [](harness::TrialConfig cfg, const char* needle) {
+    try {
+      harness::validate_config(cfg);
+      FAIL() << "expected std::invalid_argument naming " << needle;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+
+  harness::TrialConfig cfg;
+  cfg.arrival = "open";
+  expect_naming(cfg, "closed poisson burst");
+
+  cfg = harness::TrialConfig();
+  cfg.rate_ops = -1;
+  expect_naming(cfg, "rate_ops");
+  cfg.rate_ops = 0;
+  expect_naming(cfg, "> 0 ops/sec");
+
+  cfg = harness::TrialConfig();
+  cfg.zipf_s = -0.5;
+  expect_naming(cfg, "zipf_s");
+
+  cfg = harness::TrialConfig();
+  cfg.phases = {};
+  expect_naming(cfg, "phases");
+  cfg.phases = {1.0, -2.0};
+  expect_naming(cfg, "phase multiplier");
+
+  cfg = harness::TrialConfig();
+  cfg.tenants = 0;
+  expect_naming(cfg, "tenants");
+
+  cfg = harness::TrialConfig();
+  cfg.tenants = 3;
+  cfg.tenant_weights = {1.0, 2.0};
+  expect_naming(cfg, "tenant_weights");
+  cfg.tenant_weights = {1.0, 2.0, -1.0};
+  expect_naming(cfg, "tenant weight");
+
+  cfg = harness::TrialConfig();
+  cfg.reclaimer_daemon = "turbo";
+  expect_naming(cfg, "off optimistic aggressive");
+
+  cfg = harness::TrialConfig();
+  cfg.daemon_period_ms = 0;
+  expect_naming(cfg, "daemon_period_ms");
+
+  // Open-loop schedules past the generation cap are rejected up front,
+  // before a multi-gigabyte schedule is materialized.
+  cfg = harness::TrialConfig();
+  cfg.arrival = "poisson";
+  cfg.rate_ops = 1e12;
+  expect_naming(cfg, "lower rate_ops or measure_ms");
+
+  // The same config in closed-loop mode is fine: the cap only guards
+  // schedule generation.
+  cfg.arrival = "closed";
+  harness::validate_config(cfg);
+}
+
 TEST(Env, F64AndStr) {
   EnvGuard env;
   env.set("EMR_TEST_F", "0.75");

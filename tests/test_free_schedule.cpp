@@ -229,6 +229,35 @@ TEST(FreeSchedule, LatencyTargetQuotaHonoursTheClamp) {
   EXPECT_LE(sched->drain_quota(lane), 16u);
 }
 
+TEST(FreeSchedule, LatencyTargetDaemonQuotaIgnoresTheTailScale) {
+  // The tail scale exists to keep drain bursts off the op path; a
+  // background-reclaimer tick frees off that path entirely, so its
+  // quantum must stay the unscaled adaptive one even while an
+  // unreachable target has floored the per-op quota at drain_min.
+  smr::SmrConfig cfg;
+  cfg.num_threads = 4;
+  cfg.drain_min = 1;
+  cfg.drain_max = 1024;
+  cfg.latency_target_us = 1;  // everything overshoots a 1 us target
+  auto base = smr::make_free_schedule(smr::ScheduleKind::kLatency, cfg);
+  auto* sched = dynamic_cast<smr::LatencyTargetFreeSchedule*>(base.get());
+  ASSERT_NE(sched, nullptr);
+  sched->on_population(4);
+  for (int i = 0; i < 32; ++i) sched->on_tail_latency(1'000'000);
+  ASSERT_EQ(sched->scale(), smr::LatencyTargetFreeSchedule::kScaleMin);
+  smr::LaneStats lane;
+  lane.backlog = 100'000;
+  const std::size_t unscaled = sched->AdaptiveFreeSchedule::drain_quota(lane);
+  ASSERT_LT(sched->drain_quota(lane), unscaled)
+      << "precondition: the floored scale must throttle the op path";
+  // The daemon quantum is the unscaled adaptive one x2 (x8 under
+  // pressure) — not a multiple of the throttled op quota.
+  EXPECT_EQ(sched->daemon_quota(lane, /*pressure=*/false), 2 * unscaled);
+  EXPECT_EQ(sched->daemon_quota(lane, /*pressure=*/true), 8 * unscaled);
+  EXPECT_GT(sched->daemon_quota(lane, /*pressure=*/true),
+            8 * sched->drain_quota(lane));
+}
+
 TEST(FreeSchedule, LatencyTargetZeroFailsFastNamingTheKnob) {
   smr::SmrConfig cfg;
   cfg.latency_target_us = 0;

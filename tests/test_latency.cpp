@@ -192,6 +192,64 @@ TEST(LatencyPercentile, OneLaneHoldsAllTheTailMass) {
   EXPECT_LE(latency_percentile(fast, 0.999), 1024.0);
 }
 
+TEST(LatencyRecorder, ChannelsSplitALaneWithoutLeaking) {
+  // The harness keys a lane's channels by op kind: insert/erase/lookup
+  // tails must stay separable while merged() still spans everything.
+  LatencyRecorder rec;
+  rec.reset(2, 3, /*enabled=*/true);
+  ASSERT_EQ(rec.lane_count(), 2);
+  ASSERT_EQ(rec.channel_count(), 3);
+
+  rec.record(0, 0, 100);        // lane 0, "insert"
+  rec.record(0, 0, 100);
+  rec.record(1, 0, 100);
+  rec.record(0, 1, 5000);       // "erase" carries the tail
+  rec.record(1, 1, 10'000'000);
+  rec.record(0, 2, 10);         // "lookup" is fast
+  rec.record(1, 2, 10);
+
+  const LatencyHistogram ins = rec.merged_channel(0);
+  const LatencyHistogram ers = rec.merged_channel(1);
+  const LatencyHistogram lkp = rec.merged_channel(2);
+  EXPECT_EQ(ins.count, 3u);
+  EXPECT_EQ(ins.max_ns, 100u);
+  EXPECT_EQ(ers.count, 2u);
+  EXPECT_EQ(ers.max_ns, 10'000'000u);
+  EXPECT_EQ(lkp.count, 2u);
+  EXPECT_EQ(lkp.max_ns, 10u);
+  // A channel's tail never leaks into its neighbours...
+  EXPECT_LE(latency_percentile(lkp, 1.0), 10.0);
+  EXPECT_LE(latency_percentile(ins, 1.0), 100.0);
+  // ...but the all-channel merge still sees it.
+  const LatencyHistogram all = rec.merged();
+  EXPECT_EQ(all.count, 7u);
+  EXPECT_EQ(all.max_ns, 10'000'000u);
+
+  // A lane's snapshot spans its channels.
+  const LatencyHistogram lane0 = rec.lane_histogram(0);
+  EXPECT_EQ(lane0.count, 4u);
+  EXPECT_EQ(lane0.max_ns, 5000u);
+
+  // Out-of-range channels fold onto 0 rather than dropping samples.
+  rec.record(0, 9, 7);
+  rec.record(0, -1, 7);
+  EXPECT_EQ(rec.merged_channel(0).count, 5u);
+  EXPECT_EQ(rec.merged().count, 9u);
+}
+
+TEST(LatencyRecorder, SingleChannelResetKeepsLegacyShape) {
+  // reset(lanes, enabled) must stay exactly the one-channel recorder
+  // the pre-channel callers built against.
+  LatencyRecorder rec;
+  rec.reset(3, true);
+  EXPECT_EQ(rec.channel_count(), 1);
+  rec.record(2, 42);
+  EXPECT_EQ(rec.merged().count, 1u);
+  EXPECT_EQ(rec.merged_channel(0).count, 1u);
+  // Querying a channel that was never armed is empty, not a crash.
+  EXPECT_EQ(rec.merged_channel(1).count, 0u);
+}
+
 TEST(LatencyHistogram, AddAccumulates) {
   LatencyHistogram a;
   LatencyHistogram b;

@@ -361,4 +361,55 @@ TEST(Report, CommittedLatencySnapshotParses) {
   }
 }
 
+TEST(Report, CommittedServiceSnapshotParses) {
+  const std::string path =
+      std::string(EMR_SOURCE_DIR) + "/BENCH_fig_service.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing committed snapshot: " << path;
+  std::stringstream text;
+  text << in.rdbuf();
+  const std::vector<JsonObject> rows = parse_or_die(text.str());
+  // closed-cal + light/over x two seeds + determinism repeats + the two
+  // tenant cells.
+  ASSERT_GE(rows.size(), 7u);
+
+  const char* const kNumeric[] = {
+      "threads",      "rate_ops",     "offered",        "completed",
+      "mops",         "q_p50_us",     "q_p999_us",      "svc_p999_us",
+      "peak_backlog", "mean_backlog", "daemon_drained"};
+  const char* const kString[] = {"scenario", "arrival", "reclaimer",
+                                 "daemon", "sched_hash"};
+  bool saw_open_loop = false;
+  for (const JsonObject& row : rows) {
+    auto find = [&](const std::string& key) -> const JsonValue* {
+      for (const auto& [k, v] : row) {
+        if (k == key) return &v;
+      }
+      return nullptr;
+    };
+    for (const char* key : kNumeric) {
+      const JsonValue* v = find(key);
+      ASSERT_NE(v, nullptr) << key;
+      EXPECT_EQ(v->kind, JsonValue::kNumber) << key << " = " << v->str;
+    }
+    for (const char* key : kString) {
+      const JsonValue* v = find(key);
+      ASSERT_NE(v, nullptr) << key;
+      EXPECT_EQ(v->kind, JsonValue::kString) << key;
+      EXPECT_FALSE(v->str.empty()) << key;
+    }
+    // Open-loop rows stamp the schedule hash as "0x..." — the prefix
+    // keeps the cell a JSON string even when the hex digits happen to
+    // all be decimal.
+    const JsonValue* hash = find("sched_hash");
+    if (hash->str != "-") {
+      saw_open_loop = true;
+      EXPECT_EQ(hash->str.compare(0, 2, "0x"), 0) << hash->str;
+      EXPECT_EQ(hash->str.size(), 18u) << hash->str;
+    }
+  }
+  EXPECT_TRUE(saw_open_loop)
+      << "the snapshot must contain open-loop service rows";
+}
+
 }  // namespace
