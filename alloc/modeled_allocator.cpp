@@ -25,7 +25,7 @@
 #include <stdexcept>
 #include <vector>
 
-#include "alloc/factory.hpp"
+#include "alloc/backends.hpp"
 #include "core/timing.hpp"
 
 namespace emr::alloc {
@@ -397,26 +397,25 @@ class ModeledAllocator final : public Allocator {
 
 }  // namespace
 
-std::unique_ptr<Allocator> make_allocator(const std::string& name,
-                                          const AllocConfig& cfg) {
-  Flavor flavor;
-  if (name == "je") {
-    flavor = Flavor::kJe;
-  } else if (name == "tc") {
-    flavor = Flavor::kTc;
-  } else if (name == "mi") {
-    flavor = Flavor::kMi;
-  } else if (name == "system") {
-    flavor = Flavor::kSystem;
+namespace detail {
+
+std::unique_ptr<Allocator> make_model(const std::string& flavor,
+                                      const AllocConfig& cfg) {
+  Flavor f;
+  if (flavor == "je") {
+    f = Flavor::kJe;
+  } else if (flavor == "tc") {
+    f = Flavor::kTc;
+  } else if (flavor == "mi") {
+    f = Flavor::kMi;
+  } else if (flavor == "system") {
+    f = Flavor::kSystem;
   } else {
-    throw std::invalid_argument("unknown allocator model: " + name);
+    throw std::invalid_argument("unknown allocator model: " + flavor);
   }
-  return std::make_unique<ModeledAllocator>(flavor, cfg);
+  return std::make_unique<ModeledAllocator>(f, cfg);
 }
 
-const std::vector<std::string>& allocator_names() {
-  static const std::vector<std::string> kNames = {"je", "tc", "mi", "system"};
-  return kNames;
-}
+}  // namespace detail
 
 }  // namespace emr::alloc

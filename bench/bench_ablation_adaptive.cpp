@@ -55,6 +55,9 @@ harness::TrialConfig smoke_config(const std::string& reclaimer) {
   // schedule ordering drowns in trial noise. Same stand-in value the
   // bench defaults use.
   cfg.alloc.remote_free_penalty_ns = 300;
+  // The schedule-ordering gate is tuned to this penalty: keep startup
+  // calibration from substituting the host's measured value.
+  cfg.alloc.remote_penalty_explicit = true;
   cfg.enable_garbage = true;
   cfg.enable_schedule_trace = true;
   return cfg;

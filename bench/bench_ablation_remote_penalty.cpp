@@ -24,6 +24,9 @@ int main() {
       harness::TrialConfig cfg = base;
       cfg.reclaimer = reclaimer;
       cfg.alloc.remote_free_penalty_ns = penalty;
+      // The sweep IS the penalty: don't let startup calibration
+      // substitute the measured cache-line cost for this cell's value.
+      cfg.alloc.remote_penalty_explicit = true;
       harness::Trial trial(cfg);
       mops[i++] = trial.run().mops;
     }

@@ -20,8 +20,17 @@
 //                  (churn/teardown headroom; must be >= 1)
 //   EMR_HP_SLOTS - protection slots per thread (hp/he/wfe)
 //   EMR_EPOCH_FREQ - era-clock advance rate (he/ibr/wfe/nbr)
-//   EMR_ALLOC    - je | tc | mi | system
-//   EMR_REMOTE_PENALTY_NS - modelled cross-socket free penalty
+//   EMR_ALLOC    - je | tc | mi | system | je_model | tc_model | mi_model
+//                  (bare names mean the real library in an
+//                  -DEMR_REAL_ALLOC=ON build; docs/ALLOCATORS.md)
+//   EMR_REMOTE_PENALTY_NS - modelled cross-socket free penalty; setting
+//                  it pins the value, overriding startup calibration
+//   EMR_CALIBRATE - on | off: replace the default penalty with the
+//                  measured cache-line transfer cost (docs/ALLOCATORS.md)
+//   EMR_PIN      - off | compact | scatter CPU pinning for workers,
+//                  the reclaimer daemon, and calibration threads
+//   EMR_TSC      - 1 (default) = use the invariant-TSC clock when the
+//                  CPU advertises one; 0 = always clock_gettime
 //   EMR_CHURN_MS - thread-churn interval: a worker deregisters and a
 //                  fresh thread registers every this-many ms (0 = off)
 //   EMR_ARRIVAL  - closed | poisson | burst traffic model; open-loop

@@ -44,6 +44,11 @@ struct Cell {
   double mops_sum = 0;
   int runs = 0;
   bool accounted = true;  // ops > 0, pending == 0, empty backlog
+  // Hardware-realism metadata (identical across seeds): the effective
+  // remote-free penalty, the clock the recorders ran on, the pin mode.
+  std::uint64_t penalty_ns = 0;
+  std::string clock = "steady";
+  std::string pin = "off";
 
   double mops() const { return runs > 0 ? mops_sum / runs : 0.0; }
   double p999_us() const { return latency_percentile(hist, 0.999) / 1000.0; }
@@ -70,6 +75,9 @@ harness::TrialConfig smoke_config(const std::string& reclaimer) {
   cfg.smr.epoch_freq = 32;
   cfg.alloc.tcache_cap = 32;
   cfg.alloc.remote_free_penalty_ns = 500;
+  // The gates below are tuned to this exact penalty: keep startup
+  // calibration from substituting the host's measured cache-line cost.
+  cfg.alloc.remote_penalty_explicit = true;
   // A permissive clamp so the _adaptive/_latency quantum is decided by
   // the controllers (ns-per-free cap, tail feedback), not the default
   // drain_max ceiling.
@@ -91,6 +99,9 @@ Cell run_cell(const std::string& name, const std::uint64_t* seeds,
                       trial.reclaimer().executor().backlog() == 0;
     cell.accounted &= good;
     cell.schedule = trial.schedule().name();
+    cell.penalty_ns = r.remote_penalty_ns;
+    cell.clock = r.clock_source;
+    cell.pin = r.pin_mode;
     cell.hist.add(trial.latency().merged());
     cell.mops_sum += r.mops;
     ++cell.runs;
@@ -120,7 +131,8 @@ Cell run_cell(const std::string& name, const std::uint64_t* seeds,
          std::to_string(h.count),
          std::to_string(name.find("_latency") != std::string::npos
                             ? kSmokeTargetUs
-                            : 0)});
+                            : 0),
+         std::to_string(cell.penalty_ns), cell.clock, cell.pin});
   }
   return cell;
 }
@@ -137,7 +149,7 @@ int run_smoke(int argc, char** argv) {
   const int kNumSeeds = 2;
   harness::Table table({"threads", "reclaimer", "schedule", "mops",
                         "p50_us", "p99_us", "p999_us", "max_us", "ops",
-                        "target_us"});
+                        "target_us", "penalty_ns", "clock", "pin"});
 
   Cell cells[4];
   bool ok = true;
@@ -217,7 +229,7 @@ int main(int argc, char** argv) {
 
   harness::Table table({"threads", "reclaimer", "schedule", "mops",
                         "p50_us", "p99_us", "p999_us", "max_us", "ops",
-                        "target_us"});
+                        "target_us", "penalty_ns", "clock", "pin"});
   for (int nthreads : default_thread_sweep()) {
     for (const char* suffix : kSuffixes) {
       harness::TrialConfig cfg = base;
@@ -235,7 +247,9 @@ int main(int argc, char** argv) {
                          static_cast<double>(r.lat_max_ns) / 1000.0, 2),
                      std::to_string(r.lat_ops),
                      std::to_string(is_latency ? cfg.smr.latency_target_us
-                                               : 0)});
+                                               : 0),
+                     std::to_string(r.remote_penalty_ns), r.clock_source,
+                     r.pin_mode});
       std::printf(
           "  t=%-3d %-16s %7.2f Mops/s  p50=%-8s p99=%-8s p999=%-8s "
           "max=%s\n",

@@ -45,7 +45,8 @@ const char* const kHeaders[] = {
     "scenario",     "arrival",      "reclaimer",      "daemon",
     "threads",      "rate_ops",     "offered",        "completed",
     "mops",         "q_p50_us",     "q_p999_us",      "svc_p999_us",
-    "peak_backlog", "mean_backlog", "daemon_drained", "sched_hash"};
+    "peak_backlog", "mean_backlog", "daemon_drained", "sched_hash",
+    "penalty_ns",   "clock",        "pin"};
 
 harness::Table make_table() {
   return harness::Table(std::vector<std::string>(
@@ -134,7 +135,9 @@ void add_row(harness::Table* table, const std::string& scenario,
        harness::fixed(c.r.q_p999_ns / 1000.0, 2),
        harness::fixed(c.r.lat_p999_ns / 1000.0, 2),
        std::to_string(c.r.peak_backlog), harness::fixed(c.mean_backlog, 1),
-       std::to_string(c.r.daemon_drained), hash});
+       std::to_string(c.r.daemon_drained), hash,
+       std::to_string(c.r.remote_penalty_ns), c.r.clock_source,
+       c.r.pin_mode});
 }
 
 void print_cell(const std::string& scenario, const harness::TrialConfig& cfg,
@@ -167,6 +170,9 @@ harness::TrialConfig smoke_base() {
   cfg.measure_ms = 150;
   cfg.smr.batch_size = 128;
   cfg.alloc.remote_free_penalty_ns = 0;
+  // Zero is deliberate (the smoke isolates queueing effects): keep
+  // startup calibration from substituting a measured penalty.
+  cfg.alloc.remote_penalty_explicit = true;
   cfg.enable_latency = true;
   return cfg;
 }

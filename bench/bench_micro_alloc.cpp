@@ -1,9 +1,19 @@
 // google-benchmark micro suite for the allocator models: local
 // allocate/free pairs, remote frees, tcache flush cost, and the mimalloc
 // cross-thread push (Appendix B mechanics).
+//
+// `--smoke` bypasses google-benchmark entirely and runs a deterministic
+// counter-only sweep over every factory name — fixed loop counts, no
+// timing in the output — so CI can (a) gate allocator accounting across
+// model AND real backends and (b) diff two runs byte-for-byte as the
+// EMR_PIN=off determinism gate (ci/check.sh). Real-backend names that
+// this build couldn't link print a skip line instead of failing.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "alloc/factory.hpp"
@@ -88,6 +98,91 @@ void BM_AmortizedRemoteFree(benchmark::State& state) {
 }
 BENCHMARK(BM_AmortizedRemoteFree);
 
+// ---------------------------------------------------------------------
+// --smoke: deterministic counter-only sweep. No timing appears in the
+// output, so two runs under EMR_PIN=off with model allocators must be
+// byte-identical — ci/check.sh diffs them as the determinism gate. Each
+// backend that IS linked must keep exact books; names the build could
+// not link are reported as skipped, never as failures.
+
+int smoke_one(const std::string& name) {
+  constexpr int kLocal = 512;    // local allocate/free pairs on tid 0
+  constexpr int kRemote = 256;   // tid 0 allocates, tid 1 frees (classed)
+  constexpr int kLarge = 32;     // >4096 B: bypasses caches, never remote
+  constexpr std::size_t kSmall = 240;
+  constexpr std::size_t kBig = 8192;
+
+  auto a = make_allocator(name, cfg_for(2));
+  std::vector<void*> stash;
+  stash.reserve(kRemote);
+
+  for (int i = 0; i < kLocal; ++i) {
+    void* p = a->allocate(0, kSmall);
+    if (p == nullptr) return 1;
+    a->deallocate(0, p);
+  }
+  for (int i = 0; i < kRemote; ++i) stash.push_back(a->allocate(0, kSmall));
+  for (void* p : stash) a->deallocate(1, p);
+  stash.clear();
+  for (int i = 0; i < kLarge; ++i) stash.push_back(a->allocate(0, kBig));
+  for (void* p : stash) a->deallocate(1, p);  // cross-tid but large: bypass
+  stash.clear();
+
+  const emr::alloc::AllocTotals t = a->stats().totals;
+  const std::uint64_t expect_n = kLocal + kRemote + kLarge;
+  bool ok = t.n_alloc == expect_n && t.n_free == expect_n &&
+            t.n_remote_free == kRemote;
+  std::printf("%-9s backend=%-5s alloc=%llu free=%llu remote=%llu %s\n",
+              name.c_str(),
+              emr::alloc::allocator_backend(name) ==
+                      emr::alloc::Backend::kReal
+                  ? "real"
+                  : "model",
+              static_cast<unsigned long long>(t.n_alloc),
+              static_cast<unsigned long long>(t.n_free),
+              static_cast<unsigned long long>(t.n_remote_free),
+              ok ? "ok" : "MISMATCH");
+  if (!ok) {
+    std::fprintf(stderr,
+                 "bench_micro_alloc: '%s' accounting mismatch: expected "
+                 "alloc=free=%llu remote=%d\n",
+                 name.c_str(), static_cast<unsigned long long>(expect_n),
+                 kRemote);
+    return 1;
+  }
+  return 0;
+}
+
+int run_smoke() {
+  int rc = 0;
+  int ran = 0;
+  for (const std::string& name : emr::alloc::allocator_names()) {
+    if (emr::alloc::allocator_backend(name) ==
+        emr::alloc::Backend::kUnavailable) {
+      std::printf("%-9s backend=real  SKIP (library not linked)\n",
+                  name.c_str());
+      continue;
+    }
+    rc |= smoke_one(name);
+    ++ran;
+  }
+  if (ran == 0) {
+    std::fprintf(stderr, "bench_micro_alloc: no allocator backend ran\n");
+    return 1;
+  }
+  std::printf("smoke: %d backend(s) checked\n", ran);
+  return rc;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

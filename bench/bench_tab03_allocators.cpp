@@ -2,12 +2,74 @@
 // and mimalloc models (plus jemalloc for reference). Paper shape: TC gains
 // ~3.25x from AF (worse central-list contention than JE); MI is immune (AF
 // does not help, and costs slightly).
+//
+// `--smoke` runs a tiny trial for every {je,tc,mi} x {debra,debra_af}
+// cell and fails unless each makes progress with sane allocator books
+// (allocations and frees both nonzero, frees never exceeding
+// allocations — the set still holds its live nodes when the trial's
+// clock stops). In an EMR_REAL_ALLOC build the
+// bare names resolve to the real libraries, so this is the CI gate that
+// the table's pipeline works against real malloc behavior; names whose
+// library wasn't linked are skipped with a note, never failed.
+#include <cstring>
+
+#include "alloc/factory.hpp"
 #include "bench_common.hpp"
 
 using namespace emr;
 using namespace emr::bench;
 
-int main() {
+namespace {
+
+int run_smoke() {
+  bool ok = true;
+  int ran = 0;
+  for (const char* alloc_name : {"je", "tc", "mi"}) {
+    if (alloc::allocator_backend(alloc_name) ==
+        alloc::Backend::kUnavailable) {
+      std::printf("%-3s SKIP (real library not linked; try %s_model)\n",
+                  alloc_name, alloc_name);
+      continue;
+    }
+    for (const char* reclaimer : {"debra", "debra_af"}) {
+      harness::TrialConfig cfg;
+      cfg.ds = "dgt";
+      cfg.allocator = alloc_name;
+      cfg.reclaimer = reclaimer;
+      cfg.nthreads = 2;
+      cfg.keyrange = 2048;
+      cfg.measure_ms = 60;
+      cfg.smr.batch_size = 256;
+      cfg.smr.epoch_freq = 32;
+      harness::Trial trial(cfg);
+      const harness::TrialResult r = trial.run();
+      const alloc::AllocTotals t = trial.allocator().stats().totals;
+      const bool good = r.ops > 0 && t.n_alloc > 0 && t.n_free > 0 &&
+                        t.n_free <= t.n_alloc;
+      std::printf("%-3s %-9s ops=%-8llu alloc=%-8llu free=%-8llu %s\n",
+                  alloc_name, reclaimer,
+                  static_cast<unsigned long long>(r.ops),
+                  static_cast<unsigned long long>(t.n_alloc),
+                  static_cast<unsigned long long>(t.n_free),
+                  good ? "ok" : "FAILED");
+      ok &= good;
+      ++ran;
+    }
+  }
+  if (ran == 0) {
+    std::printf("bench_tab03_allocators --smoke: no backend available\n");
+    return 1;
+  }
+  std::printf("bench_tab03_allocators --smoke: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+  }
   harness::TrialConfig base = default_config();
   base.nthreads = max_threads();
   harness::print_banner(

@@ -20,6 +20,24 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 # against std::set and accounts every node at teardown.
 "$BUILD_DIR/bench_micro_ds" --smoke
 
+# Allocator smoke: every factory name keeps exact books (alloc/free
+# counts, remote attribution, the >4096 B large-allocation bypass);
+# unavailable real backends are reported as skips, never failures.
+"$BUILD_DIR/bench_micro_alloc" --smoke
+
+# Determinism gate: with EMR_PIN=off and model allocators under a fixed
+# seed, the counter-only smoke output must be bit-identical run to run
+# (and hence identical to the pre-hardware-realism harness — neither
+# pinning defaults, calibration on a box where it can't measure, nor
+# the TSC clock may leak into the modelled counters).
+EMR_PIN=off EMR_SEED=42 "$BUILD_DIR/bench_micro_alloc" --smoke > "$BUILD_DIR/det_a.txt"
+EMR_PIN=off EMR_SEED=42 "$BUILD_DIR/bench_micro_alloc" --smoke > "$BUILD_DIR/det_b.txt"
+if ! diff -u "$BUILD_DIR/det_a.txt" "$BUILD_DIR/det_b.txt"; then
+  echo "ci/check.sh: bench_micro_alloc --smoke is not deterministic" \
+       "under EMR_PIN=off with model allocators" >&2
+  exit 1
+fi
+
 # Thread-churn smoke: every Experiment-2 reclaimer (batched and _af)
 # survives workers deregistering/registering mid-trial — progress under
 # churn, pending == 0 and an empty executor backlog after teardown.
@@ -100,6 +118,28 @@ else
   # Without GTest the unit suites (and this race check) don't build;
   # mirror the main build's degrade-with-a-warning behaviour.
   echo "ci/check.sh: GTest not found, skipping the TSAN ds race check"
+fi
+
+# Real-allocator leg: an EMR_REAL_ALLOC=ON tree routes the bare
+# je/tc/mi names to the actual libraries wherever find_library located
+# them. The smokes gate accounting (and the Table 3 pipeline) against
+# every real backend that linked; when none did — the common offline CI
+# case — the binaries print per-name skips and the tab03 smoke exits
+# non-zero, which this leg treats as a graceful skip rather than a
+# failure (bench_micro_alloc still gates the 4 model names).
+REAL_DIR="${REAL_DIR:-build-real}"
+cmake -B "$REAL_DIR" -S . -DEMR_REAL_ALLOC=ON -DEMR_BUILD_TESTS=OFF
+cmake --build "$REAL_DIR" -j"$JOBS" --target bench_micro_alloc bench_tab03_allocators
+"$REAL_DIR/bench_micro_alloc" --smoke
+TAB03_OUT="$("$REAL_DIR/bench_tab03_allocators" --smoke)" && TAB03_RC=0 || TAB03_RC=$?
+echo "$TAB03_OUT"
+if [ "$TAB03_RC" -ne 0 ]; then
+  if echo "$TAB03_OUT" | grep -q "no backend available"; then
+    echo "ci/check.sh: no real allocator library on this box — skipped"
+  else
+    echo "ci/check.sh: real-allocator smoke FAILED" >&2
+    exit 1
+  fi
 fi
 
 echo "ci/check.sh: OK"

@@ -1,0 +1,87 @@
+#include "core/affinity.hpp"
+
+#include <stdexcept>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace emr::affinity {
+
+PinMode pin_mode_from_name(const std::string& name) {
+  if (name == "off") return PinMode::kOff;
+  if (name == "compact") return PinMode::kCompact;
+  if (name == "scatter") return PinMode::kScatter;
+  throw std::invalid_argument("unknown pin mode \"" + name +
+                              "\" (EMR_PIN); valid modes: off compact "
+                              "scatter");
+}
+
+const char* pin_mode_name(PinMode mode) {
+  switch (mode) {
+    case PinMode::kOff:
+      return "off";
+    case PinMode::kCompact:
+      return "compact";
+    case PinMode::kScatter:
+      return "scatter";
+  }
+  return "off";
+}
+
+std::vector<int> allowed_cpus() {
+  std::vector<int> cpus;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) != 0) return cpus;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (CPU_ISSET(cpu, &set)) cpus.push_back(cpu);
+  }
+#endif
+  return cpus;
+}
+
+std::vector<int> pin_map(PinMode mode, int count) {
+  std::vector<int> map;
+  if (mode == PinMode::kOff || count < 1) return map;
+  const std::vector<int> allowed = allowed_cpus();
+  if (allowed.empty()) return map;  // no affinity API: run unpinned
+
+  std::vector<int> order;
+  if (mode == PinMode::kScatter) {
+    // Interleave the two halves of the mask: 0, n/2, 1, n/2+1, ... —
+    // consecutive workers land as far apart as the mask allows.
+    const std::size_t n = allowed.size();
+    const std::size_t half = (n + 1) / 2;
+    order.reserve(n);
+    for (std::size_t i = 0; i < half; ++i) {
+      order.push_back(allowed[i]);
+      if (half + i < n) order.push_back(allowed[half + i]);
+    }
+  } else {
+    order = allowed;
+  }
+
+  map.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    map.push_back(order[static_cast<std::size_t>(i) % order.size()]);
+  }
+  return map;
+}
+
+bool pin_current_thread(int cpu) {
+#if defined(__linux__)
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace emr::affinity

@@ -1,0 +1,106 @@
+#include "core/calibration.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "core/affinity.hpp"
+#include "core/timing.hpp"
+
+namespace emr::calibration {
+
+namespace {
+
+constexpr int kDefaultRounds = 50'000;
+constexpr int kWarmupRounds = 2'000;
+
+struct alignas(64) PingPongLine {
+  std::atomic<std::uint32_t> turn{0};
+};
+
+/// One side of the ping-pong: wait for `turn` to reach values of our
+/// parity, then advance it. The acquire/release pair is what forces the
+/// cache line to physically migrate between the two pinned cores.
+void bounce(PingPongLine* line, std::uint32_t parity, int rounds,
+            std::atomic<bool>* pinned_ok, int cpu) {
+  if (!affinity::pin_current_thread(cpu)) {
+    pinned_ok->store(false, std::memory_order_relaxed);
+  }
+  const std::uint32_t total =
+      static_cast<std::uint32_t>(2 * (kWarmupRounds + rounds));
+  std::uint32_t expect = parity;
+  while (expect < total) {
+    while (line->turn.load(std::memory_order_acquire) != expect) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    }
+    line->turn.store(expect + 1, std::memory_order_release);
+    expect += 2;
+  }
+}
+
+}  // namespace
+
+RemoteCost measure_remote_cost(int cpu_a, int cpu_b, int rounds) {
+  RemoteCost rc;
+  if (rounds < 1 || cpu_a < 0 || cpu_b < 0 || cpu_a == cpu_b) return rc;
+  timing::calibrate_clock();
+
+  PingPongLine line;
+  std::atomic<bool> pinned_ok{true};
+  std::atomic<std::uint64_t> t0{0};
+  std::atomic<std::uint64_t> t1{0};
+
+  // Side A (even turns) runs on its own thread too, so the calling
+  // thread's affinity is left untouched.
+  std::thread a([&] {
+    if (!affinity::pin_current_thread(cpu_a)) {
+      pinned_ok.store(false, std::memory_order_relaxed);
+    }
+    const std::uint32_t total =
+        static_cast<std::uint32_t>(2 * (kWarmupRounds + rounds));
+    const std::uint32_t measure_from =
+        static_cast<std::uint32_t>(2 * kWarmupRounds);
+    std::uint32_t expect = 0;
+    while (expect < total) {
+      if (expect == measure_from) {
+        t0.store(now_ns(), std::memory_order_relaxed);
+      }
+      while (line.turn.load(std::memory_order_acquire) != expect) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+      line.turn.store(expect + 1, std::memory_order_release);
+      expect += 2;
+    }
+    t1.store(now_ns(), std::memory_order_relaxed);
+  });
+  std::thread b(bounce, &line, 1u, rounds, &pinned_ok, cpu_b);
+  a.join();
+  b.join();
+
+  if (!pinned_ok.load(std::memory_order_relaxed)) return rc;
+  const std::uint64_t elapsed =
+      t1.load(std::memory_order_relaxed) - t0.load(std::memory_order_relaxed);
+  rc.measured = true;
+  // Each round-trip is two one-way transfers; floor at 1 ns so a
+  // measured penalty is never "free".
+  rc.one_way_ns = elapsed / (2ull * static_cast<std::uint64_t>(rounds));
+  if (rc.one_way_ns == 0) rc.one_way_ns = 1;
+  rc.cpu_a = cpu_a;
+  rc.cpu_b = cpu_b;
+  return rc;
+}
+
+const RemoteCost& remote_cost() {
+  static const RemoteCost cached = [] {
+    const std::vector<int> cpus = affinity::allowed_cpus();
+    if (cpus.size() < 2) return RemoteCost{};  // measured == false
+    return measure_remote_cost(cpus.front(), cpus.back(), kDefaultRounds);
+  }();
+  return cached;
+}
+
+}  // namespace emr::calibration

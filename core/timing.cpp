@@ -1,0 +1,165 @@
+#include "core/timing.hpp"
+
+#include <mutex>
+
+#include "core/env.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace emr::timing {
+
+namespace detail {
+
+std::atomic<bool> g_use_tsc{false};
+std::uint64_t g_anchor_tsc = 0;
+std::uint64_t g_anchor_ns = 0;
+double g_ns_per_tick = 0.0;
+
+}  // namespace detail
+
+namespace {
+
+std::mutex g_calibrate_mu;
+std::atomic<bool> g_calibrated{false};
+std::atomic<double> g_tsc_ghz{0.0};
+// Relaxed-read on every spin_for_ns: the burn must never take a lock —
+// central_return charges the penalty per block while holding arena locks.
+std::atomic<double> g_pause_per_ns{0.0};
+
+/// CPUID 0x80000007 EDX bit 8: the TSC ticks at a constant rate across
+/// P-states and deep sleep — the only TSC safe to use as a wall clock.
+bool invariant_tsc_detected() {
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(0x80000000u, &eax, &ebx, &ecx, &edx) == 0) return false;
+  if (eax < 0x80000007u) return false;
+  if (__get_cpuid(0x80000007u, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (edx & (1u << 8)) != 0;
+#else
+  return false;
+#endif
+}
+
+/// Tick rate against steady_clock over a ~2 ms window: long enough that
+/// the two clock reads bracketing it contribute < 0.1% error, short
+/// enough to be invisible at process start.
+double measure_ns_per_tick() {
+  const std::uint64_t ns0 = detail::steady_now_ns();
+  const std::uint64_t t0 = detail::read_tsc();
+  const std::uint64_t deadline = ns0 + 2'000'000;
+  while (detail::steady_now_ns() < deadline) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+  const std::uint64_t ns1 = detail::steady_now_ns();
+  const std::uint64_t t1 = detail::read_tsc();
+  if (t1 <= t0 || ns1 <= ns0) return 0.0;
+  return static_cast<double>(ns1 - ns0) / static_cast<double>(t1 - t0);
+}
+
+/// Pause-loop rate for spin_for_ns: time a fixed burn a few times and
+/// keep the fastest observed rate, so iterations = ns * rate always buys
+/// at least ~ns of wall time (a preempted trial only inflates a burn,
+/// never shortens it).
+double measure_pause_rate() {
+  constexpr int kIters = 20'000;
+  constexpr int kTrials = 4;
+  double best = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    const std::uint64_t ns0 = now_ns();
+    for (int i = 0; i < kIters; ++i) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#else
+      std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+    }
+    const std::uint64_t ns1 = now_ns();
+    if (ns1 <= ns0) continue;
+    const double rate =
+        static_cast<double>(kIters) / static_cast<double>(ns1 - ns0);
+    if (rate > best) best = rate;
+  }
+  return best;
+}
+
+void calibrate_locked(bool allow_tsc) {
+  detail::g_use_tsc.store(false, std::memory_order_release);
+  g_tsc_ghz.store(0.0, std::memory_order_relaxed);
+  if (allow_tsc && invariant_tsc_detected()) {
+    const double ns_per_tick = measure_ns_per_tick();
+    if (ns_per_tick > 0.0) {
+      // Anchor to the steady clock at the switch instant so timestamps
+      // taken before and after calibration share one timeline.
+      detail::g_ns_per_tick = ns_per_tick;
+      detail::g_anchor_ns = detail::steady_now_ns();
+      detail::g_anchor_tsc = detail::read_tsc();
+      g_tsc_ghz.store(1.0 / ns_per_tick, std::memory_order_relaxed);
+      detail::g_use_tsc.store(true, std::memory_order_release);
+    }
+  }
+  g_pause_per_ns.store(measure_pause_rate(), std::memory_order_relaxed);
+  g_calibrated.store(true, std::memory_order_release);
+}
+
+}  // namespace
+
+void calibrate_clock() {
+  if (g_calibrated.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(g_calibrate_mu);
+  if (g_calibrated.load(std::memory_order_relaxed)) return;
+  calibrate_locked(env_i64("EMR_TSC", 1) != 0);
+}
+
+bool tsc_active() {
+  return detail::g_use_tsc.load(std::memory_order_acquire);
+}
+
+double tsc_ghz() { return g_tsc_ghz.load(std::memory_order_relaxed); }
+
+const char* clock_name() { return tsc_active() ? "tsc" : "steady"; }
+
+double pause_rate() {
+  return g_pause_per_ns.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void spin_slow(std::uint64_t ns) {
+  const double rate = g_pause_per_ns.load(std::memory_order_relaxed);
+  // Counted burn for the short penalties the model charges per block:
+  // no clock reads inside the loop, so a 50 ns penalty costs ~50 ns
+  // instead of 2+ clock calls. Long waits (and the pre-calibration
+  // path) use the deadline loop, which tracks wall time exactly.
+  if (rate > 0.0 && ns <= 100'000) {
+    std::uint64_t iters =
+        static_cast<std::uint64_t>(static_cast<double>(ns) * rate);
+    if (iters == 0) iters = 1;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#else
+      std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+    }
+    return;
+  }
+  const std::uint64_t deadline = now_ns() + ns;
+  while (now_ns() < deadline) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+void recalibrate_for_test(bool allow_tsc) {
+  std::lock_guard<std::mutex> lock(g_calibrate_mu);
+  calibrate_locked(allow_tsc);
+}
+
+}  // namespace detail
+
+}  // namespace emr::timing

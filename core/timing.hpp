@@ -1,31 +1,110 @@
 // Monotonic time and the busy-wait used to model fixed hardware costs
 // (e.g. the cross-socket cache-line transfer a remote free pays).
+//
+// Two clock sources sit behind now_ns():
+//
+//   tsc    - the invariant TSC (rdtsc), runtime-detected via CPUID leaf
+//            0x80000007 EDX bit 8 and calibrated once against
+//            steady_clock. One register read per timestamp instead of a
+//            vDSO clock_gettime call — the per-op overhead PR 6's latency
+//            recorders used to pay twice per operation.
+//   steady - std::chrono::steady_clock (clock_gettime under the hood).
+//            The fallback on non-x86 builds, when the TSC is not
+//            invariant, and under EMR_TSC=0.
+//
+// calibrate_clock() is idempotent and cheap after the first call; the
+// harness runs it from every Trial constructor, so benches and tests get
+// the fast clock without any per-call opt-in. Until it runs, now_ns()
+// serves steady_clock — the TSC path anchors itself to the steady clock
+// at calibration time, so timestamps taken across the switch stay on one
+// continuous timeline.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
 namespace emr {
 
-inline std::uint64_t now_ns() {
+namespace timing {
+namespace detail {
+
+// Published by calibrate_clock(): the anchor fields are plain stores
+// sequenced before the release store of g_use_tsc, and now_ns() only
+// reads them after its acquire load sees true — no torn reads.
+extern std::atomic<bool> g_use_tsc;
+extern std::uint64_t g_anchor_tsc;
+extern std::uint64_t g_anchor_ns;
+extern double g_ns_per_tick;
+
+inline std::uint64_t read_tsc() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_ia32_rdtsc();
+#else
+  return 0;
+#endif
+}
+
+inline std::uint64_t steady_now_ns() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
 
+// Out-of-line burn behind spin_for_ns's zero-cost early-out.
+void spin_slow(std::uint64_t ns);
+
+// Test seam: tear the clock back down and re-run the full calibration,
+// optionally forbidding the TSC path (exercises the clock_gettime
+// fallback in-process). Not thread-safe against concurrent now_ns()
+// users beyond the anchor-publication ordering above.
+void recalibrate_for_test(bool allow_tsc);
+
+}  // namespace detail
+
+/// One-time process-wide calibration: detects the invariant TSC, measures
+/// its tick rate against steady_clock (~2 ms), switches now_ns() over,
+/// and calibrates the pause-loop rate spin_for_ns burns. EMR_TSC=0
+/// forces the steady fallback. Thread-safe; later calls are no-ops.
+void calibrate_clock();
+
+/// True when now_ns() is currently serving rdtsc timestamps.
+bool tsc_active();
+
+/// Calibrated TSC frequency in GHz (ticks per ns); 0 on the fallback.
+double tsc_ghz();
+
+/// "tsc" | "steady" — what now_ns() reads right now.
+const char* clock_name();
+
+/// Calibrated pause-loop iterations per nanosecond (0 until
+/// calibrate_clock ran). The max rate observed across trials, so a burn
+/// of n*rate iterations takes at least ~n ns even on a quiet core.
+double pause_rate();
+
+}  // namespace timing
+
+inline std::uint64_t now_ns() {
+  if (timing::detail::g_use_tsc.load(std::memory_order_acquire)) {
+    const std::uint64_t t = timing::detail::read_tsc();
+    return timing::detail::g_anchor_ns +
+           static_cast<std::uint64_t>(
+               static_cast<double>(t - timing::detail::g_anchor_tsc) *
+               timing::detail::g_ns_per_tick);
+  }
+  return timing::detail::steady_now_ns();
+}
+
 /// Burn roughly `ns` nanoseconds of CPU. Used by the allocator models to
 /// charge costs the laptop-scale run cannot observe natively (DESIGN
-/// substitution: the four-socket remote-free latency).
+/// substitution: the four-socket remote-free latency). After
+/// calibrate_clock() the burn is a counted pause loop — sub-100ns
+/// penalties no longer drown in clock-read overhead; before it (or for
+/// long waits) it falls back to a clock-deadline loop.
 inline void spin_for_ns(std::uint64_t ns) {
   if (ns == 0) return;
-  const std::uint64_t deadline = now_ns() + ns;
-  while (now_ns() < deadline) {
-    // Relax the pipeline; keeps the spin from starving SMT siblings.
-#if defined(__x86_64__) || defined(__i386__)
-    __builtin_ia32_pause();
-#endif
-  }
+  timing::detail::spin_slow(ns);
 }
 
 }  // namespace emr

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "alloc/factory.hpp"
+#include "core/affinity.hpp"
+#include "core/calibration.hpp"
 #include "core/env.hpp"
 #include "core/timing.hpp"
 #include "ds/set.hpp"
@@ -121,6 +123,9 @@ void apply_env_overrides(TrialConfig& cfg) {
   if (env_has("EMR_REMOTE_PENALTY_NS")) {
     cfg.alloc.remote_free_penalty_ns =
         env_u64("EMR_REMOTE_PENALTY_NS", cfg.alloc.remote_free_penalty_ns);
+    // The explicit knob beats the startup calibration (Trial ctor only
+    // substitutes the measured transfer cost when this stays false).
+    cfg.alloc.remote_penalty_explicit = true;
   }
   if (env_has("EMR_TCACHE_CAP")) {
     cfg.alloc.tcache_cap = static_cast<std::size_t>(std::max<std::uint64_t>(
@@ -194,6 +199,15 @@ void apply_env_overrides(TrialConfig& cfg) {
     // Unclamped: validate_config rejects periods < 1.
     cfg.daemon_period_ms =
         static_cast<int>(env_i64("EMR_DAEMON_MS", cfg.daemon_period_ms));
+  }
+  if (env_has("EMR_PIN")) {
+    // Validity (off | compact | scatter) is owned by validate_config
+    // via affinity::pin_mode_from_name.
+    cfg.pin = env_str("EMR_PIN", cfg.pin);
+  }
+  if (env_has("EMR_CALIBRATE")) {
+    // Validity (on | off) is owned by validate_config.
+    cfg.calibrate = env_str("EMR_CALIBRATE", cfg.calibrate);
   }
 }
 
@@ -339,6 +353,15 @@ void validate_config(const TrialConfig& cfg) {
   }
   // Throws listing the valid levels on an unknown name.
   smr::daemon_level_from_name(cfg.reclaimer_daemon);
+  // Throws listing the valid layouts on an unknown name (EMR_PIN).
+  affinity::pin_mode_from_name(cfg.pin);
+  if (cfg.calibrate != "on" && cfg.calibrate != "off") {
+    throw std::invalid_argument(
+        "unknown calibrate switch: '" + cfg.calibrate +
+        "' (EMR_CALIBRATE; valid: on off — whether the measured "
+        "cache-line transfer cost replaces the default remote-free "
+        "penalty)");
+  }
   if (cfg.arrival != "closed") {
     const double expected =
         cfg.rate_ops * static_cast<double>(cfg.measure_ms) / 1000.0;
@@ -462,6 +485,11 @@ void prefill(ds::ConcurrentSet& set, smr::Reclaimer& r,
 Trial::Trial(const TrialConfig& cfg) : cfg_(cfg) {
   validate_config(cfg_);
 
+  // Clock first (idempotent): every timestamp below — and the spin the
+  // allocator model burns per remote block — rides the calibrated
+  // TSC/pause rates from here on.
+  timing::calibrate_clock();
+
   const smr::DaemonLevel dlevel =
       smr::daemon_level_from_name(cfg_.reclaimer_daemon);
 
@@ -476,7 +504,24 @@ Trial::Trial(const TrialConfig& cfg) : cfg_(cfg) {
   // covers the whole slot capacity (workers + churn/teardown headroom).
   alloc::AllocConfig acfg = cfg_.alloc;
   acfg.max_threads = static_cast<int>(scfg.slot_capacity());
+  // Measured remote cost: the startup ping-pong's one-way cache-line
+  // transfer latency replaces the configured default — unless the knob
+  // (or a bench sweep) set the penalty explicitly, or this machine has
+  // fewer than two CPUs to measure with (measured == false keeps the
+  // deterministic default).
+  if (cfg_.calibrate == "on" && !acfg.remote_penalty_explicit) {
+    const calibration::RemoteCost& rc = calibration::remote_cost();
+    if (rc.measured) {
+      acfg.remote_free_penalty_ns = rc.one_way_ns;
+      penalty_measured_ = true;
+    }
+  }
+  effective_penalty_ns_ = acfg.remote_free_penalty_ns;
   allocator_ = alloc::make_allocator(cfg_.allocator, acfg);
+  // Pin layout for the trial's threads: workers take slots [0, nthreads),
+  // the reclaimer daemon the one after (empty = run unpinned).
+  pin_map_ = affinity::pin_map(affinity::pin_mode_from_name(cfg_.pin),
+                               std::max(cfg_.nthreads, 1) + 1);
 
   smr::SmrContext ctx;
   ctx.allocator = allocator_.get();
@@ -492,6 +537,7 @@ Trial::Trial(const TrialConfig& cfg) : cfg_(cfg) {
     bundle_.reclaimer->executor().set_daemon_hooked(true);
     daemon_ = std::make_unique<smr::ReclaimerDaemon>(
         *bundle_.reclaimer, dlevel, cfg_.daemon_period_ms);
+    if (!pin_map_.empty()) daemon_->set_pin_cpu(pin_map_.back());
   }
 
   ds::SetConfig dcfg;
@@ -613,6 +659,12 @@ TrialResult Trial::run() {
   // incarnation. `incarnation` seeds closed-loop replacements onto
   // fresh streams; service replacements resume the shared cursor.
   auto worker_fn = [&](int widx, std::uint64_t incarnation) {
+    // Pin before registering: every instruction of the measured window
+    // (and a churn replacement's whole life) runs on the layout's CPU.
+    if (!pin_map_.empty()) {
+      affinity::pin_current_thread(
+          pin_map_[static_cast<std::size_t>(widx)]);
+    }
     smr::ThreadHandle handle = bundle_.reclaimer->register_thread();
     smr::FreeExecutor& ex = bundle_.reclaimer->executor();
     std::atomic<bool>& retire = retire_worker[static_cast<std::size_t>(widx)];
@@ -925,6 +977,12 @@ TrialResult Trial::run() {
     r.daemon_pressure_ticks = ds.pressure_ticks;
     r.daemon_drained = ds.drained;
   }
+  r.remote_penalty_ns = effective_penalty_ns_;
+  r.penalty_measured = penalty_measured_;
+  r.clock_source = timing::clock_name();
+  r.tsc_ghz = timing::tsc_ghz();
+  r.pin_mode = cfg_.pin;
+  r.pin_cpus = pin_map_;
   r.peak_bytes_mapped = alloc_after.peak_bytes_mapped;
   r.smr_stats = smr_after;
   r.epochs_in_window =

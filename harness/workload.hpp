@@ -87,6 +87,19 @@ struct TrialConfig {
   std::string reclaimer_daemon = "off";
   /// Daemon tick period. EMR_DAEMON_MS.
   int daemon_period_ms = 1;
+  // ---- hardware realism (docs/ALLOCATORS.md) ----
+  /// CPU affinity layout: "off" | "compact" | "scatter"
+  /// (core/affinity.hpp). Workers pin themselves before the measured
+  /// window opens, and the reclaimer daemon takes the slot after the
+  /// workers'. EMR_PIN.
+  std::string pin = "off";
+  /// "on" | "off": whether the startup cache-line ping-pong's measured
+  /// transfer cost replaces the configured remote-free penalty. Only
+  /// applies when the penalty was not set explicitly (the
+  /// EMR_REMOTE_PENALTY_NS knob always wins), and only when the machine
+  /// could measure (>= 2 allowed CPUs) — otherwise configured defaults
+  /// run untouched. EMR_CALIBRATE.
+  std::string calibrate = "on";
   smr::SmrConfig smr;
   alloc::AllocConfig alloc;
 };
@@ -106,8 +119,10 @@ void apply_env_overrides(TrialConfig& cfg);
 /// non-positive) phase list, tenants < 1, a weight list whose length
 /// disagrees with tenants, a daemon_period_ms < 1, and an open-loop
 /// schedule whose expected event count exceeds core/arrival.hpp's
-/// kMaxArrivals all throw naming the valid range. Trial's constructor
-/// runs this on every config.
+/// kMaxArrivals all throw naming the valid range, as do a pin layout
+/// outside off|compact|scatter (EMR_PIN) and a calibrate switch outside
+/// on|off (EMR_CALIBRATE). Trial's constructor runs this on every
+/// config.
 void validate_config(const TrialConfig& cfg);
 
 /// A TrialConfig built from defaults + every EMR_* override.
@@ -240,6 +255,18 @@ struct TrialResult {
   std::uint64_t daemon_quiet_ticks = 0;
   std::uint64_t daemon_pressure_ticks = 0;
   std::uint64_t daemon_drained = 0;
+  /// Hardware-calibration and affinity metadata (docs/ALLOCATORS.md):
+  /// the remote-free penalty the trial actually charged, whether it came
+  /// from the startup ping-pong (vs a knob/default), the clock source
+  /// behind every timestamp ("tsc" | "steady") with the calibrated TSC
+  /// frequency (0 on the fallback), the pin layout, and the worker ->
+  /// CPU map (empty when unpinned; the last entry is the daemon's slot).
+  std::uint64_t remote_penalty_ns = 0;
+  bool penalty_measured = false;
+  std::string clock_source = "steady";
+  double tsc_ghz = 0;
+  std::string pin_mode = "off";
+  std::vector<int> pin_cpus;
 };
 
 struct AggregateResult {
@@ -302,6 +329,12 @@ class Trial {
   // Declared last: the daemon joins (and stops touching the bundle)
   // before anything it reads is torn down.
   std::unique_ptr<smr::ReclaimerDaemon> daemon_;
+  // Resolved at construction: worker i pins to pin_map_[i] (empty when
+  // EMR_PIN=off or no CPUs are visible; the extra last entry is the
+  // daemon's), and the penalty the allocator was actually built with.
+  std::vector<int> pin_map_;
+  std::uint64_t effective_penalty_ns_ = 0;
+  bool penalty_measured_ = false;
   bool ran_ = false;
 };
 

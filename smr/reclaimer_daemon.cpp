@@ -3,6 +3,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "core/affinity.hpp"
+
 namespace emr::smr {
 
 namespace {
@@ -74,6 +76,7 @@ ReclaimerDaemon::Stats ReclaimerDaemon::stats() const {
 }
 
 void ReclaimerDaemon::loop() {
+  if (pin_cpu_ >= 0) affinity::pin_current_thread(pin_cpu_);
   while (!stop_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(period_ms_));
     tick();

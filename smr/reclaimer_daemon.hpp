@@ -71,6 +71,12 @@ class ReclaimerDaemon {
   /// Idempotent; also run by the destructor.
   void stop();
 
+  /// Pin the daemon thread to this CPU when it starts (EMR_PIN: the
+  /// harness hands the daemon the slot after the workers' in the pin
+  /// layout). -1 (default) leaves the thread to the scheduler. Call
+  /// before start().
+  void set_pin_cpu(int cpu) { pin_cpu_ = cpu; }
+
   bool running() const {
     return running_.load(std::memory_order_acquire);
   }
@@ -85,6 +91,7 @@ class ReclaimerDaemon {
   Reclaimer& r_;
   DaemonLevel level_;
   int period_ms_;
+  int pin_cpu_ = -1;
   std::thread thread_;
   ThreadHandle handle_;
   std::uint64_t last_ops_ = 0;  // loop-thread private

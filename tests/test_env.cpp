@@ -379,6 +379,62 @@ TEST(Env, ServiceKnobValidationNamesTheRange) {
   harness::validate_config(cfg);
 }
 
+TEST(Env, PinAndCalibrateKnobsOverrideAndValidate) {
+  EnvGuard env;
+  env.unset("EMR_PIN");
+  env.unset("EMR_CALIBRATE");
+
+  harness::TrialConfig cfg;
+  harness::apply_env_overrides(cfg);
+  EXPECT_EQ(cfg.pin, "off");       // silent env leaves defaults alone
+  EXPECT_EQ(cfg.calibrate, "on");
+
+  env.set("EMR_PIN", "compact");
+  env.set("EMR_CALIBRATE", "off");
+  harness::apply_env_overrides(cfg);
+  EXPECT_EQ(cfg.pin, "compact");
+  EXPECT_EQ(cfg.calibrate, "off");
+  harness::validate_config(cfg);
+
+  cfg.pin = "scatter";
+  harness::validate_config(cfg);
+
+  // Malformed values fail fast in validate_config, naming the choices.
+  auto expect_naming = [](harness::TrialConfig bad, const char* needle) {
+    try {
+      harness::validate_config(bad);
+      FAIL() << "expected std::invalid_argument naming " << needle;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  harness::TrialConfig bad;
+  bad.pin = "numa";
+  expect_naming(bad, "off compact scatter");
+  bad = harness::TrialConfig();
+  bad.calibrate = "auto";
+  expect_naming(bad, "on off");
+}
+
+TEST(Env, RemotePenaltyKnobMarksThePenaltyExplicit) {
+  // The knob must not just set the value: it flags the config so the
+  // harness's startup calibration never substitutes the measured
+  // cache-line cost for a penalty the user (or an ablation sweep)
+  // chose deliberately.
+  EnvGuard env;
+  env.unset("EMR_REMOTE_PENALTY_NS");
+
+  harness::TrialConfig cfg;
+  harness::apply_env_overrides(cfg);
+  EXPECT_FALSE(cfg.alloc.remote_penalty_explicit);
+
+  env.set("EMR_REMOTE_PENALTY_NS", "275");
+  harness::apply_env_overrides(cfg);
+  EXPECT_EQ(cfg.alloc.remote_free_penalty_ns, 275u);
+  EXPECT_TRUE(cfg.alloc.remote_penalty_explicit);
+}
+
 TEST(Env, F64AndStr) {
   EnvGuard env;
   env.set("EMR_TEST_F", "0.75");

@@ -336,10 +336,10 @@ TEST(Report, CommittedLatencySnapshotParses) {
   const std::vector<JsonObject> rows = parse_or_die(text.str());
   ASSERT_GE(rows.size(), 4u) << "one row per schedule at minimum";
 
-  const char* const kNumeric[] = {"threads", "mops",   "p50_us",
+  const char* const kNumeric[] = {"threads", "mops",    "p50_us",
                                   "p99_us",  "p999_us", "max_us",
-                                  "ops",     "target_us"};
-  const char* const kString[] = {"reclaimer", "schedule"};
+                                  "ops",     "target_us", "penalty_ns"};
+  const char* const kString[] = {"reclaimer", "schedule", "clock", "pin"};
   for (const JsonObject& row : rows) {
     auto find = [&](const std::string& key) -> const JsonValue* {
       for (const auto& [k, v] : row) {
@@ -376,9 +376,9 @@ TEST(Report, CommittedServiceSnapshotParses) {
   const char* const kNumeric[] = {
       "threads",      "rate_ops",     "offered",        "completed",
       "mops",         "q_p50_us",     "q_p999_us",      "svc_p999_us",
-      "peak_backlog", "mean_backlog", "daemon_drained"};
+      "peak_backlog", "mean_backlog", "daemon_drained", "penalty_ns"};
   const char* const kString[] = {"scenario", "arrival", "reclaimer",
-                                 "daemon", "sched_hash"};
+                                 "daemon", "sched_hash", "clock", "pin"};
   bool saw_open_loop = false;
   for (const JsonObject& row : rows) {
     auto find = [&](const std::string& key) -> const JsonValue* {

@@ -261,6 +261,76 @@ TEST(TrialTest, DeterministicSeedGivesIdenticalRetireCounts) {
   EXPECT_EQ(erases_a, erases_b);
 }
 
+TEST(TrialTest, ResultCarriesHardwareRealismMetadata) {
+  TrialConfig cfg = tiny_config();
+  cfg.alloc.remote_free_penalty_ns = 150;
+  harness::Trial trial(cfg);
+  const harness::TrialResult r = trial.run();
+
+  EXPECT_EQ(r.pin_mode, "off");
+  EXPECT_TRUE(r.pin_cpus.empty());  // off = run unpinned
+  // The clock the recorders ran on, and its rate when it's the TSC.
+  EXPECT_TRUE(r.clock_source == "tsc" || r.clock_source == "steady")
+      << r.clock_source;
+  if (r.clock_source == "tsc") {
+    EXPECT_GT(r.tsc_ghz, 0.0);
+  } else {
+    EXPECT_DOUBLE_EQ(r.tsc_ghz, 0.0);
+  }
+  // Whatever penalty the allocator actually charged is surfaced; when
+  // calibration couldn't measure (one allowed CPU) the configured
+  // default must be reported unchanged.
+  if (r.penalty_measured) {
+    EXPECT_GT(r.remote_penalty_ns, 0u);  // floored at 1 ns by measurement
+  } else {
+    EXPECT_EQ(r.remote_penalty_ns, 150u);
+  }
+}
+
+TEST(TrialTest, ExplicitPenaltyAlwaysBeatsCalibration) {
+  // EMR_REMOTE_PENALTY_NS (or an ablation sweep) marks the penalty
+  // explicit; the measured cache-line cost must never replace it even
+  // with calibration on.
+  TrialConfig cfg = tiny_config();
+  cfg.calibrate = "on";
+  cfg.alloc.remote_free_penalty_ns = 777;
+  cfg.alloc.remote_penalty_explicit = true;
+  harness::Trial trial(cfg);
+  const harness::TrialResult r = trial.run();
+  EXPECT_EQ(r.remote_penalty_ns, 777u);
+  EXPECT_FALSE(r.penalty_measured);
+}
+
+TEST(TrialTest, CalibrationOffKeepsTheConfiguredPenalty) {
+  TrialConfig cfg = tiny_config();
+  cfg.calibrate = "off";
+  cfg.alloc.remote_free_penalty_ns = 333;
+  harness::Trial trial(cfg);
+  const harness::TrialResult r = trial.run();
+  EXPECT_EQ(r.remote_penalty_ns, 333u);
+  EXPECT_FALSE(r.penalty_measured);
+}
+
+TEST(TrialTest, PinnedTrialRunsAndReportsItsLayout) {
+  // compact/scatter must work on any box (the map wraps round-robin
+  // over however many CPUs the affinity mask allows) and the layout
+  // lands in the result: one slot per worker plus the daemon's.
+  for (const char* mode : {"compact", "scatter"}) {
+    TrialConfig cfg = tiny_config();
+    cfg.pin = mode;
+    harness::Trial trial(cfg);
+    const harness::TrialResult r = trial.run();
+    EXPECT_GT(r.ops, 0u) << mode;
+    EXPECT_EQ(r.pin_mode, mode);
+#if defined(__linux__)
+    EXPECT_EQ(r.pin_cpus.size(),
+              static_cast<std::size_t>(cfg.nthreads) + 1)
+        << mode;
+    for (int cpu : r.pin_cpus) EXPECT_GE(cpu, 0) << mode;
+#endif
+  }
+}
+
 TEST(ReportTest, TableAlignsAndWritesCsv) {
   harness::Table table({"a", "b"});
   table.add_row({"1", "hello"});
