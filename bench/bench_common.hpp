@@ -33,6 +33,13 @@
 //                  CPU advertises one; 0 = always clock_gettime
 //   EMR_CHURN_MS - thread-churn interval: a worker deregisters and a
 //                  fresh thread registers every this-many ms (0 = off)
+//   EMR_WORKLOAD - set | pipeline: the insert/erase/lookup set mix, or
+//                  enqueue/dequeue over a ds/ queue (EMR_DS = msqueue |
+//                  lockedqueue; docs/DATA_STRUCTURES.md)
+//   EMR_PRODUCERS - pipeline role split: the first N workers enqueue
+//                  only, the rest dequeue only (0 = every worker
+//                  alternates); consumers take the far end of EMR_PIN
+//   EMR_QUEUE_CAP - pipeline queue capacity in nodes (0 = unbounded)
 //   EMR_ARRIVAL  - closed | poisson | burst traffic model; open-loop
 //                  modes serve a seeded pre-generated arrival schedule
 //                  (docs/SERVICE_MODE.md)
@@ -46,12 +53,12 @@
 //   EMR_OUT      - artifact directory for CSV/timeline dumps
 //
 // Binaries that parse argv (bench_ablation_churn,
-// bench_ablation_adaptive, bench_fig_latency, bench_fig_service)
-// accept `--json <path>` (or EMR_JSON): the result table is mirrored
-// as a JSON array via harness::emit_json, the format the committed
-// BENCH_*.json perf snapshots ingest (ci/check.sh writes
-// BENCH_fig_latency.json and BENCH_fig_service.json at the repo
-// root). The helpers below are the two lines a bench needs to opt in.
+// bench_ablation_adaptive, bench_fig_latency, bench_fig_service,
+// bench_fig_queue) accept `--json <path>` (or EMR_JSON): the result
+// table is mirrored as a JSON array via harness::emit_json, the format
+// the committed BENCH_*.json perf snapshots ingest (ci/check.sh writes
+// BENCH_fig_latency.json, BENCH_fig_service.json and
+// BENCH_fig_queue.json at the repo root). The helpers below are the two lines a bench needs to opt in.
 #pragma once
 
 #include <algorithm>

@@ -40,6 +40,12 @@ const char* kSuffixes[] = {"", "_af", "_adaptive", "_latency"};
 /// (percentiles over the union) and mops averages.
 struct Cell {
   LatencyHistogram hist;
+  // Per-op-kind split (insert/erase/lookup channels): the batch drain
+  // rides the erase path — where retire lives — so its tail dwarfs the
+  // read-side ones.
+  LatencyHistogram ins_hist;
+  LatencyHistogram ers_hist;
+  LatencyHistogram lkp_hist;
   std::string schedule;
   double mops_sum = 0;
   int runs = 0;
@@ -103,6 +109,9 @@ Cell run_cell(const std::string& name, const std::uint64_t* seeds,
     cell.clock = r.clock_source;
     cell.pin = r.pin_mode;
     cell.hist.add(trial.latency().merged());
+    cell.ins_hist.add(trial.latency().merged_channel(harness::Op::kInsert));
+    cell.ers_hist.add(trial.latency().merged_channel(harness::Op::kErase));
+    cell.lkp_hist.add(trial.latency().merged_channel(harness::Op::kLookup));
     cell.mops_sum += r.mops;
     ++cell.runs;
     std::printf(
@@ -128,6 +137,12 @@ Cell run_cell(const std::string& name, const std::uint64_t* seeds,
          harness::fixed(latency_percentile(h, 0.99) / 1000.0, 2),
          harness::fixed(latency_percentile(h, 0.999) / 1000.0, 2),
          harness::fixed(static_cast<double>(h.max_ns) / 1000.0, 2),
+         harness::fixed(latency_percentile(cell.ins_hist, 0.999) / 1000.0,
+                        2),
+         harness::fixed(latency_percentile(cell.ers_hist, 0.999) / 1000.0,
+                        2),
+         harness::fixed(latency_percentile(cell.lkp_hist, 0.999) / 1000.0,
+                        2),
          std::to_string(h.count),
          std::to_string(name.find("_latency") != std::string::npos
                             ? kSmokeTargetUs
@@ -148,7 +163,8 @@ int run_smoke(int argc, char** argv) {
   const std::uint64_t kSeeds[] = {42, 1042};
   const int kNumSeeds = 2;
   harness::Table table({"threads", "reclaimer", "schedule", "mops",
-                        "p50_us", "p99_us", "p999_us", "max_us", "ops",
+                        "p50_us", "p99_us", "p999_us", "max_us",
+                        "ins_p999_us", "ers_p999_us", "lkp_p999_us", "ops",
                         "target_us", "penalty_ns", "clock", "pin"});
 
   Cell cells[4];
@@ -228,7 +244,8 @@ int main(int argc, char** argv) {
           " target_us=" + std::to_string(base.smr.latency_target_us));
 
   harness::Table table({"threads", "reclaimer", "schedule", "mops",
-                        "p50_us", "p99_us", "p999_us", "max_us", "ops",
+                        "p50_us", "p99_us", "p999_us", "max_us",
+                        "ins_p999_us", "ers_p999_us", "lkp_p999_us", "ops",
                         "target_us", "penalty_ns", "clock", "pin"});
   for (int nthreads : default_thread_sweep()) {
     for (const char* suffix : kSuffixes) {
@@ -245,6 +262,15 @@ int main(int argc, char** argv) {
                      harness::fixed(r.lat_p999_ns / 1000.0, 2),
                      harness::fixed(
                          static_cast<double>(r.lat_max_ns) / 1000.0, 2),
+                     harness::fixed(
+                         r.kind_lat[harness::Op::kInsert].p999_ns / 1000.0,
+                         2),
+                     harness::fixed(
+                         r.kind_lat[harness::Op::kErase].p999_ns / 1000.0,
+                         2),
+                     harness::fixed(
+                         r.kind_lat[harness::Op::kLookup].p999_ns / 1000.0,
+                         2),
                      std::to_string(r.lat_ops),
                      std::to_string(is_latency ? cfg.smr.latency_target_us
                                                : 0),

@@ -65,6 +65,15 @@ test -s BENCH_fig_latency.json
 "$BUILD_DIR/bench_fig_service" --smoke --json BENCH_fig_service.json
 test -s BENCH_fig_service.json
 
+# Queue-pipeline smoke (ROADMAP items 3+4): the MPMC queue under the
+# role-split workload — the asymmetric layout must charge a higher
+# remote-free share than the symmetric one, and its fixed-batch dequeue
+# p99.9 must blow past 2x the _af tail at comparable mops, over two
+# seeds. Writes the committed snapshot at the repo root (test_report
+# parses it strictly).
+"$BUILD_DIR/bench_fig_queue" --smoke --json BENCH_fig_queue.json
+test -s BENCH_fig_queue.json
+
 # Policy-layer invariant: executors and scheme TUs ask the FreeSchedule
 # for every batching quantum; only smr/free_schedule.cpp may read the
 # raw SmrConfig batching knobs.
@@ -103,6 +112,10 @@ cmake -B "$TSAN_DIR" -S . -DEMR_SANITIZE=thread -DEMR_BUILD_BENCHES=OFF
 cmake --build "$TSAN_DIR" -j"$JOBS"
 if [ -x "$TSAN_DIR/test_ds" ]; then
   "$TSAN_DIR/test_ds" --gtest_filter='*Concurrent*'
+  # Queue producer/consumer churn: the MS queue's guarded per-hop
+  # traversal (and the locked baseline) race retirement across every
+  # guard protocol, with FIFO-per-producer and no-loss checks on top.
+  "$TSAN_DIR/test_queue" --gtest_filter='*Concurrent*'
   # ThreadHandle churn stress: register/deregister racing guarded
   # traversals over every reclaimer family (including the _adaptive
   # executors, whose lane-stats counters feed the controller).

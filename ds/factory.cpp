@@ -1,5 +1,6 @@
 #include <stdexcept>
 
+#include "ds/queue.hpp"
 #include "ds/set.hpp"
 
 namespace emr::ds {
@@ -9,6 +10,13 @@ namespace {
 [[noreturn]] void throw_unknown(const std::string& name) {
   std::string msg = "unknown ds: '" + name + "' (valid:";
   for (const std::string& n : set_names()) msg += " " + n;
+  msg += ")";
+  throw std::invalid_argument(msg);
+}
+
+[[noreturn]] void throw_unknown_queue(const std::string& name) {
+  std::string msg = "unknown queue ds: '" + name + "' (valid:";
+  for (const std::string& n : queue_names()) msg += " " + n;
   msg += ")";
   throw std::invalid_argument(msg);
 }
@@ -40,6 +48,28 @@ std::size_t node_size_for_ds(const std::string& name) {
   if (name == "dgt") return dgt_node_size();
   if (name == "shardedset") return shardedset_node_size();
   throw_unknown(name);
+}
+
+std::unique_ptr<ConcurrentQueue> make_queue(const std::string& name,
+                                            const QueueConfig& cfg,
+                                            smr::Reclaimer* reclaimer) {
+  if (reclaimer == nullptr) {
+    throw std::invalid_argument("make_queue: reclaimer unset");
+  }
+  if (name == "msqueue") return make_msqueue(cfg, reclaimer);
+  if (name == "lockedqueue") return make_lockedqueue(cfg, reclaimer);
+  throw_unknown_queue(name);
+}
+
+const std::vector<std::string>& queue_names() {
+  static const std::vector<std::string> kNames = {"msqueue", "lockedqueue"};
+  return kNames;
+}
+
+std::size_t node_size_for_queue(const std::string& name) {
+  if (name == "msqueue") return msqueue_node_size();
+  if (name == "lockedqueue") return lockedqueue_node_size();
+  throw_unknown_queue(name);
 }
 
 }  // namespace emr::ds

@@ -1,0 +1,105 @@
+// One-spinlock linked FIFO queue, the locked regression baseline for
+// msqueue: every enqueue/dequeue takes the same lock, so the
+// reclaimer's read-side cost is exercised (a Guard still brackets each
+// op and dequeued nodes still leave through retire) but never
+// load-bearing. Compare msqueue against this to see what the lock was
+// hiding — and note that the retire rate still equals the dequeue
+// rate, so the free-schedule pathology shows up here too.
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "core/spinlock.hpp"
+#include "ds/queue.hpp"
+
+namespace emr::ds {
+namespace {
+
+struct Node {
+  smr::NodeHeader hdr;
+  std::uint64_t value;
+  std::atomic<Node*> next;
+  char pad[32 - sizeof(smr::NodeHeader) - sizeof(std::uint64_t) -
+           sizeof(std::atomic<Node*>)];
+
+  explicit Node(std::uint64_t v) : value(v), next(nullptr) {}
+};
+static_assert(sizeof(Node) == 32);
+static_assert(std::is_standard_layout_v<Node>);
+
+class LockedQueue final : public ConcurrentQueue {
+ public:
+  LockedQueue(const QueueConfig& cfg, smr::Reclaimer* r)
+      : r_(r), cap_(cfg.capacity) {}
+
+  ~LockedQueue() override {
+    // Single-threaded teardown; the cursor degrades gracefully when
+    // the slot table is exhausted (destructors must not throw).
+    smr::TeardownCursor td(*r_);
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      td.dealloc(n);
+      n = next;
+    }
+  }
+
+  bool enqueue(smr::ThreadHandle& h, std::uint64_t value) override {
+    smr::Guard g(h);
+    lock_.lock();
+    if (cap_ != 0 && size_ >= cap_) {
+      lock_.unlock();
+      return false;
+    }
+    Node* n = smr::make_node<Node>(h, value);
+    if (tail_ == nullptr) {
+      head_ = tail_ = n;
+    } else {
+      tail_->next.store(n, std::memory_order_release);
+      tail_ = n;
+    }
+    ++size_;
+    lock_.unlock();
+    return true;
+  }
+
+  bool dequeue(smr::ThreadHandle& h, std::uint64_t* out) override {
+    smr::Guard g(h);
+    lock_.lock();
+    Node* n = head_;
+    if (n == nullptr) {
+      lock_.unlock();
+      return false;
+    }
+    head_ = n->next.load(std::memory_order_relaxed);
+    if (head_ == nullptr) tail_ = nullptr;
+    --size_;
+    const std::uint64_t value = n->value;
+    lock_.unlock();
+    g.retire(n);
+    *out = value;
+    return true;
+  }
+
+  const char* name() const override { return "lockedqueue"; }
+  std::size_t node_size() const override { return sizeof(Node); }
+
+ private:
+  smr::Reclaimer* r_;
+  const std::uint64_t cap_;
+  Spinlock lock_;
+  Node* head_ = nullptr;
+  Node* tail_ = nullptr;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ConcurrentQueue> make_lockedqueue(const QueueConfig& cfg,
+                                                  smr::Reclaimer* r) {
+  return std::make_unique<LockedQueue>(cfg, r);
+}
+
+std::size_t lockedqueue_node_size() { return sizeof(Node); }
+
+}  // namespace emr::ds

@@ -1,0 +1,90 @@
+// The queue side of the data-structure layer: the pipeline workload
+// (EMR_WORKLOAD=pipeline, docs/SERVICE_MODE.md's asymmetric follow-on)
+// drives one ConcurrentQueue implementation picked by TrialConfig::ds.
+// Queues are the canonical high-retire-rate SMR client — every
+// successful dequeue retires a node — and with producers and consumers
+// split across the EMR_PIN layout they are also the adversarial case
+// for remote frees: nodes are allocated on one core and retired/freed
+// on a distant one, so the modelled (or measured) remote-free penalty
+// is charged on nearly every reclamation.
+//
+//   msqueue     - Michael-Scott lock-free MPMC queue (PODC '96):
+//                 dummy-headed singly linked list, enqueue CASes the
+//                 tail's next then swings tail, dequeue CASes head
+//                 forward and the winner retires the old dummy
+//   lockedqueue - one-spinlock linked queue, the locked baseline
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "smr/reclaimer.hpp"
+
+namespace emr::ds {
+
+struct QueueConfig {
+  /// Soft capacity: enqueue returns false once the queue holds this
+  /// many values (checked against an approximate atomic size counter
+  /// before allocating, so a full queue costs no node churn). 0 =
+  /// unbounded. EMR_QUEUE_CAP.
+  std::uint64_t capacity = 0;
+  int num_threads = 1;
+};
+
+/// A FIFO queue of uint64 values under concurrent enqueue/dequeue.
+///
+/// Contract:
+///  - Each call runs one guarded operation on behalf of the registered
+///    ThreadHandle `h` (the ConcurrentSet handle contract applies: one
+///    call at a time per handle, different handles freely concurrent,
+///    handles may churn mid-lifetime).
+///  - enqueue returns false only when a configured capacity is reached;
+///    dequeue returns false only on empty. Values dequeue in FIFO order
+///    per producer, with no loss or duplication.
+///  - Nodes are allocated via the handle's reclaimer and begin with
+///    smr::NodeHeader; a dequeued node leaves through Guard::retire
+///    exactly once (the head-CAS winner retires it) — the retire rate
+///    *is* the dequeue rate, which is what makes the structure the
+///    paper's worst case.
+///  - Destruction is single-threaded: a smr::TeardownCursor returns the
+///    dummy node and every still-queued node to the allocator, so
+///    combined with Reclaimer::flush_all() no node leaks.
+class ConcurrentQueue {
+ public:
+  virtual ~ConcurrentQueue() = default;
+
+  virtual bool enqueue(smr::ThreadHandle& h, std::uint64_t value) = 0;
+  virtual bool dequeue(smr::ThreadHandle& h, std::uint64_t* out) = 0;
+
+  virtual const char* name() const = 0;
+  /// sizeof the structure's churned node type (one per enqueue).
+  virtual std::size_t node_size() const = 0;
+};
+
+/// Builds the named queue over `reclaimer`. Throws std::invalid_argument
+/// listing queue_names() for an unknown name.
+std::unique_ptr<ConcurrentQueue> make_queue(const std::string& name,
+                                            const QueueConfig& cfg,
+                                            smr::Reclaimer* reclaimer);
+
+/// The queue names make_queue accepts.
+const std::vector<std::string>& queue_names();
+
+/// Node size for a name without building the queue (sizeof the real
+/// node types). Throws like make_queue on unknown names.
+std::size_t node_size_for_queue(const std::string& name);
+
+// Per-structure factories (ds/factory.cpp fans out to these).
+std::unique_ptr<ConcurrentQueue> make_msqueue(const QueueConfig& cfg,
+                                              smr::Reclaimer* r);
+std::unique_ptr<ConcurrentQueue> make_lockedqueue(const QueueConfig& cfg,
+                                                  smr::Reclaimer* r);
+
+// sizeof the churned node type per structure, for node_size_for_queue.
+std::size_t msqueue_node_size();
+std::size_t lockedqueue_node_size();
+
+}  // namespace emr::ds

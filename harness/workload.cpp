@@ -14,6 +14,7 @@
 #include "core/calibration.hpp"
 #include "core/env.hpp"
 #include "core/timing.hpp"
+#include "ds/queue.hpp"
 #include "ds/set.hpp"
 #include "smr/factory.hpp"
 #include "smr/free_executor.hpp"
@@ -205,6 +206,25 @@ void apply_env_overrides(TrialConfig& cfg) {
     // via affinity::pin_mode_from_name.
     cfg.pin = env_str("EMR_PIN", cfg.pin);
   }
+  if (env_has("EMR_WORKLOAD")) {
+    // Validity (set | pipeline) is owned by validate_config.
+    cfg.workload = env_str("EMR_WORKLOAD", cfg.workload);
+  }
+  if (env_has("EMR_PRODUCERS")) {
+    // Unclamped: validate_config rejects values outside [0, nthreads)
+    // and producers set on the set workload.
+    cfg.producers =
+        static_cast<int>(env_i64("EMR_PRODUCERS", cfg.producers));
+  }
+  if (env_has("EMR_QUEUE_CAP")) {
+    const long long v = env_i64("EMR_QUEUE_CAP", -1);
+    if (v < 0) {
+      throw std::invalid_argument(
+          "invalid EMR_QUEUE_CAP: '" + env_str("EMR_QUEUE_CAP", "") +
+          "' (must be >= 0, where 0 is an unbounded queue)");
+    }
+    cfg.queue_cap = static_cast<std::uint64_t>(v);
+  }
   if (env_has("EMR_CALIBRATE")) {
     // Validity (on | off) is owned by validate_config.
     cfg.calibrate = env_str("EMR_CALIBRATE", cfg.calibrate);
@@ -373,8 +393,53 @@ void validate_config(const TrialConfig& cfg) {
           " — lower rate_ops or measure_ms)");
     }
   }
-  // The ds name is not re-checked here: ds::make_set (run from Trial's
-  // constructor right after this) already fails fast listing set_names().
+  if (cfg.workload != "set" && cfg.workload != "pipeline") {
+    throw std::invalid_argument(
+        "unknown workload: '" + cfg.workload +
+        "' (EMR_WORKLOAD; valid: set pipeline)");
+  }
+  if (cfg.workload == "set") {
+    if (cfg.producers != 0) {
+      throw std::invalid_argument(
+          "invalid producers: " + std::to_string(cfg.producers) +
+          " (EMR_PRODUCERS applies only to the pipeline workload; set "
+          "EMR_WORKLOAD=pipeline or leave it 0)");
+    }
+    if (cfg.queue_cap != 0) {
+      throw std::invalid_argument(
+          "invalid queue_cap: " + std::to_string(cfg.queue_cap) +
+          " (EMR_QUEUE_CAP applies only to the pipeline workload; set "
+          "EMR_WORKLOAD=pipeline or leave it 0)");
+    }
+  } else {
+    if (!known_name(ds::queue_names(), cfg.ds)) {
+      throw std::invalid_argument(
+          "invalid pipeline ds: '" + cfg.ds +
+          "' (the pipeline workload drives a queue; valid: " +
+          join_names(ds::queue_names()) + ")");
+    }
+    if (cfg.producers < 0 || cfg.producers >= std::max(cfg.nthreads, 1)) {
+      throw std::invalid_argument(
+          "invalid producers: " + std::to_string(cfg.producers) +
+          " with nthreads=" + std::to_string(cfg.nthreads) +
+          " (valid range: 0 <= producers < nthreads — 0 runs every "
+          "worker symmetric, and a role split needs at least one "
+          "consumer)");
+    }
+    if (cfg.arrival != "closed") {
+      throw std::invalid_argument(
+          "invalid pipeline arrival: '" + cfg.arrival +
+          "' (the pipeline workload is closed-loop only; valid: closed)");
+    }
+    if (cfg.tenants != 1) {
+      throw std::invalid_argument(
+          "invalid pipeline tenants: " + std::to_string(cfg.tenants) +
+          " (the pipeline workload drives a single queue; valid: 1)");
+    }
+  }
+  // The set-workload ds name is not re-checked here: ds::make_set (run
+  // from Trial's constructor right after this) already fails fast
+  // listing set_names().
   if (!known_name(smr::all_factory_names(), cfg.reclaimer)) {
     throw std::invalid_argument(
         "unknown reclaimer: '" + cfg.reclaimer +
@@ -540,16 +605,23 @@ Trial::Trial(const TrialConfig& cfg) : cfg_(cfg) {
     if (!pin_map_.empty()) daemon_->set_pin_cpu(pin_map_.back());
   }
 
-  ds::SetConfig dcfg;
-  dcfg.keyrange = cfg_.keyrange;
-  dcfg.num_threads = std::max(cfg_.nthreads, 1);
-  // One structure per tenant, all sharing this bundle: the tenants are
-  // separate reclamation *domains* only in the accounting sense — the
-  // executor ledgers attribute retire/backlog per tenant.
-  const int ntenants = std::max(cfg_.tenants, 1);
-  sets_.reserve(static_cast<std::size_t>(ntenants));
-  for (int t = 0; t < ntenants; ++t) {
-    sets_.push_back(ds::make_set(cfg_.ds, dcfg, bundle_.reclaimer.get()));
+  if (cfg_.workload == "pipeline") {
+    ds::QueueConfig qcfg;
+    qcfg.capacity = cfg_.queue_cap;
+    qcfg.num_threads = std::max(cfg_.nthreads, 1);
+    queue_ = ds::make_queue(cfg_.ds, qcfg, bundle_.reclaimer.get());
+  } else {
+    ds::SetConfig dcfg;
+    dcfg.keyrange = cfg_.keyrange;
+    dcfg.num_threads = std::max(cfg_.nthreads, 1);
+    // One structure per tenant, all sharing this bundle: the tenants are
+    // separate reclamation *domains* only in the accounting sense — the
+    // executor ledgers attribute retire/backlog per tenant.
+    const int ntenants = std::max(cfg_.tenants, 1);
+    sets_.reserve(static_cast<std::size_t>(ntenants));
+    for (int t = 0; t < ntenants; ++t) {
+      sets_.push_back(ds::make_set(cfg_.ds, dcfg, bundle_.reclaimer.get()));
+    }
   }
 }
 
@@ -562,7 +634,11 @@ TrialResult Trial::run() {
   const int nthreads = std::max(cfg_.nthreads, 1);
   const int lanes = static_cast<int>(bundle_.reclaimer->slot_capacity());
   const bool service = cfg_.arrival != "closed";
-  const int ntenants = static_cast<int>(sets_.size());
+  const bool pipeline = cfg_.workload == "pipeline";
+  // Pipeline trials have no tenant structures (sets_ is empty) but keep
+  // the tenant arrays at their single-domain size so the shared
+  // accounting below never indexes an empty table.
+  const int ntenants = std::max<int>(static_cast<int>(sets_.size()), 1);
   const bool multi = ntenants > 1;
 
   // Instruments stay disarmed through the prefill. Timeline lanes cover
@@ -577,15 +653,27 @@ TrialResult Trial::run() {
   // service tail by op kind (insert/erase/lookup).
   const bool want_feedback = bundle_.schedule->wants_latency_feedback();
   const bool record_lat = cfg_.enable_latency || want_feedback;
-  latency_.reset(lanes, 3, record_lat);
+  latency_.reset(lanes, Op::kNumKinds, record_lat);
   // Queueing delay (service start minus scheduled arrival) only exists
   // against an arrival schedule; the per-tenant service recorder keys
   // its "lanes" by tenant.
   queue_latency_.reset(lanes, service);
   tenant_latency_.reset(ntenants, record_lat && multi);
-  for (int t = 0; t < ntenants; ++t) {
-    prefill(*sets_[static_cast<std::size_t>(t)], *bundle_.reclaimer, cfg_,
-            t);
+  for (std::size_t t = 0; t < sets_.size(); ++t) {
+    prefill(*sets_[t], *bundle_.reclaimer, cfg_, static_cast<int>(t));
+  }
+  if (pipeline) {
+    // Queue prefill on a transient registration, so consumers find work
+    // from the first tick instead of spinning on empty until the
+    // producers ramp: half the capacity when bounded, one modest batch
+    // per worker when unbounded.
+    const std::uint64_t want =
+        cfg_.queue_cap != 0 ? cfg_.queue_cap / 2
+                            : static_cast<std::uint64_t>(nthreads) * 64;
+    smr::ThreadHandle h = bundle_.reclaimer->register_thread();
+    for (std::uint64_t i = 0; i < want; ++i) {
+      if (!queue_->enqueue(h, i)) break;
+    }
   }
 
   // Open-loop traffic: ONE global schedule generated up front — a pure
@@ -650,6 +738,12 @@ TrialResult Trial::run() {
     retire_worker[static_cast<std::size_t>(i)].store(
         false, std::memory_order_relaxed);
   }
+  // Pipeline per-role accumulators: successful ops and refused polls by
+  // role, folded in by each worker incarnation as it exits.
+  std::atomic<std::uint64_t> enq_ok{0};
+  std::atomic<std::uint64_t> enq_failed{0};
+  std::atomic<std::uint64_t> deq_ok{0};
+  std::atomic<std::uint64_t> deq_failed{0};
 
   // One worker incarnation: registers its own ThreadHandle (released on
   // exit, so a churned-out thread's backlog is adopted or drained, never
@@ -662,8 +756,17 @@ TrialResult Trial::run() {
     // Pin before registering: every instruction of the measured window
     // (and a churn replacement's whole life) runs on the layout's CPU.
     if (!pin_map_.empty()) {
+      int layout_slot = widx;
+      // Pipeline role split: producers keep the layout's front slots
+      // and consumers count theirs from the back, so the two roles sit
+      // on opposite ends of the EMR_PIN layout — allocation (producer)
+      // and retire/free (consumer) land on the most distant cores the
+      // mask offers, and the remote-free penalty is actually charged.
+      if (pipeline && cfg_.producers > 0 && widx >= cfg_.producers) {
+        layout_slot = nthreads - 1 - (widx - cfg_.producers);
+      }
       affinity::pin_current_thread(
-          pin_map_[static_cast<std::size_t>(widx)]);
+          pin_map_[static_cast<std::size_t>(layout_slot)]);
     }
     smr::ThreadHandle handle = bundle_.reclaimer->register_thread();
     smr::FreeExecutor& ex = bundle_.reclaimer->executor();
@@ -676,7 +779,60 @@ TrialResult Trial::run() {
         static_cast<std::size_t>(ntenants), 0);
     std::uint64_t done = 0;
     while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
-    if (!service) {
+    if (pipeline) {
+      ds::ConcurrentQueue& q = *queue_;
+      // Role: the first `producers` worker indices enqueue only, the
+      // rest dequeue only; producers == 0 alternates both kinds on
+      // every worker — the symmetric layout, where a freed node
+      // restocks the freeing worker's own thread cache and the next
+      // enqueue re-allocates (and re-owns) it locally.
+      const bool split = cfg_.producers > 0;
+      const bool is_producer = split && widx < cfg_.producers;
+      std::uint64_t seq = 0;
+      std::uint64_t eok = 0, efail = 0, dok = 0, dfail = 0;
+      while (!stop.load(std::memory_order_relaxed) &&
+             !retire.load(std::memory_order_relaxed)) {
+        const bool do_enq = split ? is_producer : (seq & 1) == 0;
+        const std::uint64_t op_t0 = record_latency ? now_ns() : 0;
+        bool ok;
+        if (do_enq) {
+          // Tagged value (worker id | sequence): deterministic and
+          // unique, so a post-mortem dump reads back to its producer.
+          ok = q.enqueue(handle,
+                         (static_cast<std::uint64_t>(widx) << 40) |
+                             (seq & 0xFF'FFFF'FFFFull));
+          if (ok) {
+            ++eok;
+          } else {
+            ++efail;
+          }
+        } else {
+          std::uint64_t value = 0;
+          ok = q.dequeue(handle, &value);
+          if (ok) {
+            ++dok;
+          } else {
+            ++dfail;
+          }
+        }
+        if (record_latency) {
+          latency_.record(lane, do_enq ? Op::kEnqueue : Op::kDequeue,
+                          now_ns() - op_t0);
+        }
+        ++seq;
+        if (ok) {
+          ++done;
+        } else {
+          // Backpressure: a full (producer) or empty (consumer) queue
+          // costs a yield, not a busy retry storm.
+          std::this_thread::yield();
+        }
+      }
+      enq_ok.fetch_add(eok, std::memory_order_relaxed);
+      enq_failed.fetch_add(efail, std::memory_order_relaxed);
+      deq_ok.fetch_add(dok, std::memory_order_relaxed);
+      deq_failed.fetch_add(dfail, std::memory_order_relaxed);
+    } else if (!service) {
       OpStream ops(cfg_, static_cast<int>(incarnation) * nthreads + widx);
       while (!stop.load(std::memory_order_relaxed) &&
              !retire.load(std::memory_order_relaxed)) {
@@ -936,7 +1092,7 @@ TrialResult Trial::run() {
   r.lat_p99_ns = latency_percentile(lat, 0.99);
   r.lat_p999_ns = latency_percentile(lat, 0.999);
   r.lat_max_ns = lat.max_ns;
-  for (int k = 0; k < 3; ++k) {
+  for (int k = 0; k < Op::kNumKinds; ++k) {
     const LatencyHistogram h = latency_.merged_channel(k);
     TrialResult::OpKindLatency& kl = r.kind_lat[k];
     kl.ops = h.count;
@@ -944,6 +1100,15 @@ TrialResult Trial::run() {
     kl.p99_ns = latency_percentile(h, 0.99);
     kl.p999_ns = latency_percentile(h, 0.999);
     kl.max_ns = h.max_ns;
+  }
+  if (pipeline) {
+    const bool split = cfg_.producers > 0;
+    r.producer.workers = split ? cfg_.producers : nthreads;
+    r.consumer.workers = split ? nthreads - cfg_.producers : nthreads;
+    r.producer.ops = enq_ok.load(std::memory_order_relaxed);
+    r.producer.failed = enq_failed.load(std::memory_order_relaxed);
+    r.consumer.ops = deq_ok.load(std::memory_order_relaxed);
+    r.consumer.failed = deq_failed.load(std::memory_order_relaxed);
   }
   if (service) {
     r.arrivals_offered = schedule.size();

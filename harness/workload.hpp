@@ -21,6 +21,7 @@
 
 namespace emr::ds {
 class ConcurrentSet;
+class ConcurrentQueue;
 }
 
 namespace emr::harness {
@@ -100,6 +101,26 @@ struct TrialConfig {
   /// could measure (>= 2 allowed CPUs) — otherwise configured defaults
   /// run untouched. EMR_CALIBRATE.
   std::string calibrate = "on";
+  // ---- pipeline workload (ds/queue.hpp) ----
+  /// "set" runs the classic mixed insert/erase/lookup workload over a
+  /// ConcurrentSet; "pipeline" drives a ConcurrentQueue (ds must name
+  /// one of ds::queue_names()) with enqueue/dequeue workers instead —
+  /// the canonical high-retire-rate SMR client, since every dequeue
+  /// retires a node. Pipeline trials are closed-loop single-tenant.
+  /// EMR_WORKLOAD.
+  std::string workload = "set";
+  /// Pipeline role split: the first `producers` worker indices enqueue
+  /// only and the rest dequeue only, with the consumers pinned from the
+  /// far end of the EMR_PIN layout — allocation and retire/free land on
+  /// distant cores, the adversarial case for remote frees. 0 (the
+  /// default) runs every worker symmetric (alternating enqueue and
+  /// dequeue), where a freed node restocks the freeing worker's own
+  /// thread cache. EMR_PRODUCERS.
+  int producers = 0;
+  /// Queue soft capacity: enqueue refuses (and the producer yields)
+  /// once the queue holds this many values; 0 = unbounded.
+  /// EMR_QUEUE_CAP.
+  std::uint64_t queue_cap = 0;
   smr::SmrConfig smr;
   alloc::AllocConfig alloc;
 };
@@ -121,8 +142,12 @@ void apply_env_overrides(TrialConfig& cfg);
 /// schedule whose expected event count exceeds core/arrival.hpp's
 /// kMaxArrivals all throw naming the valid range, as do a pin layout
 /// outside off|compact|scatter (EMR_PIN) and a calibrate switch outside
-/// on|off (EMR_CALIBRATE). Trial's constructor runs this on every
-/// config.
+/// on|off (EMR_CALIBRATE). The pipeline knobs are policed the same way:
+/// a workload outside set|pipeline (EMR_WORKLOAD), producers or a queue
+/// capacity set on the set workload, a pipeline ds that is not a queue
+/// name, producers outside [0, nthreads), and a pipeline trial that is
+/// not closed-loop single-tenant all throw naming the valid
+/// choices/ranges. Trial's constructor runs this on every config.
 void validate_config(const TrialConfig& cfg);
 
 /// A TrialConfig built from defaults + every EMR_* override.
@@ -140,7 +165,18 @@ std::vector<int> thread_sweep_from_env(std::vector<int> def);
 std::size_t node_size_for_ds(const std::string& ds);
 
 struct Op {
-  enum Kind : std::uint8_t { kInsert = 0, kErase = 1, kLookup = 2 };
+  /// The first three kinds are the set workload's; the queue kinds are
+  /// the pipeline workload's. Kind doubles as the latency recorder's
+  /// channel index, so the per-kind tails in TrialResult::kind_lat are
+  /// indexed the same way.
+  enum Kind : std::uint8_t {
+    kInsert = 0,
+    kErase = 1,
+    kLookup = 2,
+    kEnqueue = 3,
+    kDequeue = 4
+  };
+  static constexpr int kNumKinds = 5;
   Kind kind;
   std::uint64_t key;
   /// Which tenant's structure the op targets (always 0 single-tenant).
@@ -212,9 +248,10 @@ struct TrialResult {
   double lat_p99_ns = 0;
   double lat_p999_ns = 0;
   std::uint64_t lat_max_ns = 0;
-  /// Per-op-kind service latency split (insert/erase/lookup), from the
-  /// recorder's channels; indexed by Op::Kind. Zeros when the recorder
-  /// is disarmed.
+  /// Per-op-kind service latency split (insert/erase/lookup for the set
+  /// workload, enqueue/dequeue for the pipeline), from the recorder's
+  /// channels; indexed by Op::Kind. Zeros when the recorder is disarmed
+  /// or a kind never ran.
   struct OpKindLatency {
     std::uint64_t ops = 0;
     double p50_ns = 0;
@@ -222,7 +259,20 @@ struct TrialResult {
     double p999_ns = 0;
     std::uint64_t max_ns = 0;
   };
-  OpKindLatency kind_lat[3];
+  OpKindLatency kind_lat[Op::kNumKinds];
+  /// Pipeline mode per-role split (zeros when workload == "set"). `ops`
+  /// counts successful enqueues/dequeues (what TrialResult::ops sums);
+  /// `failed` the refused ones — full-queue enqueues on the producer
+  /// side, empty polls on the consumer side — each of which costs a
+  /// yield, not an op. In the symmetric layout (producers == 0) every
+  /// worker plays both roles, so both `workers` fields report nthreads.
+  struct RoleResult {
+    int workers = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t failed = 0;
+  };
+  RoleResult producer;
+  RoleResult consumer;
   /// Service mode: how many arrivals the schedule offered inside the
   /// window vs how many the workers completed (equal unless the trial
   /// was stopped saturated), and the queueing-delay distribution —
@@ -300,11 +350,14 @@ class Trial {
   smr::Reclaimer& reclaimer() { return *bundle_.reclaimer; }
   smr::FreeSchedule& schedule() { return *bundle_.schedule; }
   alloc::Allocator& allocator() { return *allocator_; }
-  /// Tenant 0's structure (the only one single-tenant).
+  /// Tenant 0's structure (the only one single-tenant). Only valid for
+  /// the set workload — pipeline trials build a queue instead.
   ds::ConcurrentSet& set() { return *sets_[0]; }
   ds::ConcurrentSet& set(int tenant) {
     return *sets_[static_cast<std::size_t>(tenant)];
   }
+  /// The pipeline workload's queue; null for the set workload.
+  ds::ConcurrentQueue& queue() { return *queue_; }
   int tenant_count() const { return static_cast<int>(sets_.size()); }
   /// Null when reclaimer_daemon == "off".
   smr::ReclaimerDaemon* daemon() { return daemon_.get(); }
@@ -325,7 +378,9 @@ class Trial {
   // Declared after the bundle: the structures' destructors return their
   // reachable nodes through the reclaimer, so they must be destroyed
   // first. One set per tenant; sets_[0] is the classic single domain.
+  // Pipeline trials leave sets_ empty and build queue_ instead.
   std::vector<std::unique_ptr<ds::ConcurrentSet>> sets_;
+  std::unique_ptr<ds::ConcurrentQueue> queue_;
   // Declared last: the daemon joins (and stops touching the bundle)
   // before anything it reads is torn down.
   std::unique_ptr<smr::ReclaimerDaemon> daemon_;

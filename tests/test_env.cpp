@@ -379,6 +379,93 @@ TEST(Env, ServiceKnobValidationNamesTheRange) {
   harness::validate_config(cfg);
 }
 
+TEST(Env, PipelineKnobsOverrideOnlyWhenPresent) {
+  EnvGuard env;
+  env.unset("EMR_WORKLOAD");
+  env.unset("EMR_PRODUCERS");
+  env.unset("EMR_QUEUE_CAP");
+
+  harness::TrialConfig cfg;
+  harness::apply_env_overrides(cfg);
+  EXPECT_EQ(cfg.workload, "set");  // silent env leaves defaults alone
+  EXPECT_EQ(cfg.producers, 0);
+  EXPECT_EQ(cfg.queue_cap, 0u);
+
+  env.set("EMR_WORKLOAD", "pipeline");
+  env.set("EMR_PRODUCERS", "2");
+  env.set("EMR_QUEUE_CAP", "8192");
+  harness::apply_env_overrides(cfg);
+  EXPECT_EQ(cfg.workload, "pipeline");
+  EXPECT_EQ(cfg.producers, 2);
+  EXPECT_EQ(cfg.queue_cap, 8192u);
+  cfg.ds = "msqueue";
+  harness::validate_config(cfg);  // the combination is coherent
+
+  // A negative capacity is nonsense at the env layer already (0 means
+  // unbounded, there is no smaller queue).
+  env.set("EMR_QUEUE_CAP", "-1");
+  EXPECT_THROW(harness::apply_env_overrides(cfg), std::invalid_argument);
+}
+
+TEST(Env, PipelineKnobValidationNamesTheRange) {
+  auto expect_naming = [](harness::TrialConfig cfg, const char* needle) {
+    try {
+      harness::validate_config(cfg);
+      FAIL() << "expected std::invalid_argument naming " << needle;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+
+  // Unknown workload names fail fast, naming the valid choices.
+  harness::TrialConfig cfg;
+  cfg.workload = "queue";
+  expect_naming(cfg, "set pipeline");
+
+  // Pipeline knobs are meaningless on the set workload: reject rather
+  // than silently ignore them.
+  cfg = harness::TrialConfig();
+  cfg.producers = 2;
+  expect_naming(cfg, "pipeline");
+  cfg = harness::TrialConfig();
+  cfg.queue_cap = 1024;
+  expect_naming(cfg, "pipeline");
+
+  // The pipeline workload drives a queue, not a set.
+  cfg = harness::TrialConfig();
+  cfg.workload = "pipeline";
+  cfg.ds = "abtree";
+  expect_naming(cfg, "msqueue lockedqueue");
+
+  // A role split needs at least one consumer; producers == nthreads
+  // would leave the queue growing unboundedly with nobody dequeueing.
+  cfg = harness::TrialConfig();
+  cfg.workload = "pipeline";
+  cfg.ds = "msqueue";
+  cfg.nthreads = 4;
+  cfg.producers = 4;
+  expect_naming(cfg, "producers < nthreads");
+  cfg.producers = -1;
+  expect_naming(cfg, "producers");
+  cfg.producers = 3;
+  harness::validate_config(cfg);  // 3+1 split is fine
+
+  // Pipeline mode is closed-loop and single-tenant (for now): the
+  // open-loop arrival schedule and tenant domains assume set tenants.
+  cfg = harness::TrialConfig();
+  cfg.workload = "pipeline";
+  cfg.ds = "msqueue";
+  cfg.arrival = "poisson";
+  cfg.rate_ops = 1000;
+  expect_naming(cfg, "closed-loop");
+  cfg = harness::TrialConfig();
+  cfg.workload = "pipeline";
+  cfg.ds = "msqueue";
+  cfg.tenants = 2;
+  expect_naming(cfg, "tenants");
+}
+
 TEST(Env, PinAndCalibrateKnobsOverrideAndValidate) {
   EnvGuard env;
   env.unset("EMR_PIN");

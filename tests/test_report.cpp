@@ -336,9 +336,10 @@ TEST(Report, CommittedLatencySnapshotParses) {
   const std::vector<JsonObject> rows = parse_or_die(text.str());
   ASSERT_GE(rows.size(), 4u) << "one row per schedule at minimum";
 
-  const char* const kNumeric[] = {"threads", "mops",    "p50_us",
-                                  "p99_us",  "p999_us", "max_us",
-                                  "ops",     "target_us", "penalty_ns"};
+  const char* const kNumeric[] = {
+      "threads",     "mops",        "p50_us",      "p99_us",
+      "p999_us",     "max_us",      "ins_p999_us", "ers_p999_us",
+      "lkp_p999_us", "ops",         "target_us",   "penalty_ns"};
   const char* const kString[] = {"reclaimer", "schedule", "clock", "pin"};
   for (const JsonObject& row : rows) {
     auto find = [&](const std::string& key) -> const JsonValue* {
@@ -359,6 +360,63 @@ TEST(Report, CommittedLatencySnapshotParses) {
       EXPECT_FALSE(v->str.empty()) << key;
     }
   }
+}
+
+TEST(Report, CommittedQueueSnapshotParses) {
+  const std::string path =
+      std::string(EMR_SOURCE_DIR) + "/BENCH_fig_queue.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing committed snapshot: " << path;
+  std::stringstream text;
+  text << in.rdbuf();
+  const std::vector<JsonObject> rows = parse_or_die(text.str());
+  // One row per layout x schedule: {sym, asym} x {batch, _af, _adaptive,
+  // _latency}.
+  ASSERT_GE(rows.size(), 8u);
+
+  const char* const kNumeric[] = {
+      "producers", "threads",      "mops",    "enq_p999_us",
+      "deq_p999_us", "remote_share", "enq_ops", "deq_ops",
+      "penalty_ns"};
+  const char* const kString[] = {"layout", "ds",    "reclaimer",
+                                 "schedule", "clock", "pin"};
+  bool saw_sym = false;
+  bool saw_asym = false;
+  for (const JsonObject& row : rows) {
+    auto find = [&](const std::string& key) -> const JsonValue* {
+      for (const auto& [k, v] : row) {
+        if (k == key) return &v;
+      }
+      return nullptr;
+    };
+    for (const char* key : kNumeric) {
+      const JsonValue* v = find(key);
+      ASSERT_NE(v, nullptr) << key;
+      EXPECT_EQ(v->kind, JsonValue::kNumber) << key << " = " << v->str;
+    }
+    for (const char* key : kString) {
+      const JsonValue* v = find(key);
+      ASSERT_NE(v, nullptr) << key;
+      EXPECT_EQ(v->kind, JsonValue::kString) << key;
+      EXPECT_FALSE(v->str.empty()) << key;
+    }
+    // The share is a ratio, and the layout tags must match the producer
+    // split that defines them.
+    const double share = find("remote_share")->num;
+    EXPECT_GE(share, 0.0);
+    EXPECT_LE(share, 1.0);
+    const std::string& layout = find("layout")->str;
+    if (layout == "sym") {
+      saw_sym = true;
+      EXPECT_DOUBLE_EQ(find("producers")->num, 0) << "sym means no split";
+    } else {
+      saw_asym = true;
+      EXPECT_EQ(layout, "asym");
+      EXPECT_GT(find("producers")->num, 0);
+    }
+  }
+  EXPECT_TRUE(saw_sym) << "snapshot must contain symmetric-layout rows";
+  EXPECT_TRUE(saw_asym) << "snapshot must contain asymmetric-layout rows";
 }
 
 TEST(Report, CommittedServiceSnapshotParses) {
