@@ -57,6 +57,24 @@ class Allocator {
   virtual void* allocate(int tid, std::size_t size) = 0;
   virtual void deallocate(int tid, void* p) = 0;
 
+  /// The lane that allocated `p` (the block's *home*), or -1 when the
+  /// backend cannot attribute it (no header, large-allocation bypass).
+  /// The home-flush routing layer (smr::FreeExecutor) uses this to
+  /// decide whether a free is about to cross lanes.
+  virtual int home_lane(void* p) const {
+    (void)p;
+    return -1;
+  }
+
+  /// Frees `p` on `tid` with the caller's promise that the cross-lane
+  /// hand-off cost was already paid in bulk (the block arrived through
+  /// a batched owner-stash, not an ad-hoc foreign free). Backends keep
+  /// n_remote_free attribution exact — a block allocated elsewhere
+  /// still counts remote — but skip the per-block transfer penalty by
+  /// re-homing the block into `tid`'s cache. The default is a plain
+  /// deallocate (real backends have no modelled penalty to skip).
+  virtual void free_local_hint(int tid, void* p) { deallocate(tid, p); }
+
   /// Drains thread caches / remote stacks back to the central state.
   /// Called at trial teardown; not part of the measured window.
   virtual void flush_thread_caches() {}

@@ -175,6 +175,26 @@ class ModeledAllocator final : public Allocator {
     t.totals.ns_in_free += now_ns() - t0;
   }
 
+  int home_lane(void* p) const override {
+    const BlockHeader* h = header_of(p);
+    return h->cls < 0 ? -1 : h->owner;
+  }
+
+  void free_local_hint(int tid, void* p) override {
+    BlockHeader* h = header_of(p);
+    if (h->cls >= 0 && h->owner != tid) {
+      // Batched owner-stash hand-off: the block did cross lanes, so
+      // remote attribution stays exact — but the per-block transfer
+      // penalty is skipped by re-homing it into tid's cache before the
+      // ordinary local free path runs (the mimalloc delayed-free
+      // absorb, one layer up: the hand-off cost was paid once for the
+      // whole stash, not per block).
+      ++thread(tid).totals.n_remote_free;
+      h->owner = tid;
+    }
+    deallocate(tid, p);
+  }
+
   void flush_thread_caches() override {
     for (std::size_t i = 0; i < threads_.size(); ++i) {
       PerThread& t = threads_[i];

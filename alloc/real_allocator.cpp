@@ -108,6 +108,17 @@ class RealAllocator final : public Allocator {
     t.totals.ns_in_free += now_ns() - t0;
   }
 
+  int home_lane(void* p) const override {
+    const auto* h = reinterpret_cast<const RealHeader*>(
+        static_cast<const char*>(p) - kHeaderSize);
+    return h->cls < 0 ? -1 : h->owner;
+  }
+
+  // free_local_hint: the base-class default (plain deallocate) is
+  // already right for real backends — there is no modelled penalty to
+  // skip, the library's own cross-thread machinery handles the
+  // hand-off, and deallocate keeps n_remote_free attribution exact.
+
   AllocStats stats() const override {
     AllocStats s;
     for (const RealLane& t : lanes_) {

@@ -14,6 +14,11 @@
 //   EMR_LATENCY  - 1 = record per-op latency histograms (docs/LATENCY.md)
 //   EMR_DRAIN_MIN / EMR_DRAIN_MAX - clamp on the adaptive schedule's
 //                  per-op drain quantum
+//   EMR_FLUSH_BATCH - ceiling on the home-flush quantum: how many
+//                  stashed remote frees an owner retires locally per op
+//                  end (>= 1; docs/FREE_SCHEDULES.md)
+//   EMR_HOME_FLUSH - on | off: force remote-free routing regardless of
+//                  the reclaimer name's _hf suffix
 //   EMR_POOL_CAP - pooling inventory cap per lane (default: 4 batches,
 //                  floored at 1024; non-positive values are rejected)
 //   EMR_EXTRA_SLOTS - registration slots beyond the worker count
@@ -54,11 +59,12 @@
 //
 // Binaries that parse argv (bench_ablation_churn,
 // bench_ablation_adaptive, bench_fig_latency, bench_fig_service,
-// bench_fig_queue) accept `--json <path>` (or EMR_JSON): the result
-// table is mirrored as a JSON array via harness::emit_json, the format
-// the committed BENCH_*.json perf snapshots ingest (ci/check.sh writes
-// BENCH_fig_latency.json, BENCH_fig_service.json and
-// BENCH_fig_queue.json at the repo root). The helpers below are the two lines a bench needs to opt in.
+// bench_fig_queue, bench_fig_homeflush) accept `--json <path>` (or
+// EMR_JSON): the result table is mirrored as a JSON array via
+// harness::emit_json, the format the committed BENCH_*.json perf
+// snapshots ingest (ci/check.sh writes BENCH_fig_latency.json,
+// BENCH_fig_service.json, BENCH_fig_queue.json and
+// BENCH_fig_homeflush.json at the repo root). The helpers below are the two lines a bench needs to opt in.
 #pragma once
 
 #include <algorithm>

@@ -74,10 +74,21 @@ test -s BENCH_fig_service.json
 "$BUILD_DIR/bench_fig_queue" --smoke --json BENCH_fig_queue.json
 test -s BENCH_fig_queue.json
 
+# Home-flush routing smoke (docs/FREE_SCHEDULES.md): on the asymmetric
+# pipeline the _hf forms must reroute foreign frees home — remote share
+# collapses from >= 0.9 (plain _af) to <= 0.25, the dequeue p99.9
+# improves without a throughput loss over two seeds, and the stash
+# ledger balances exactly (stashed == flushed, zero backlog at
+# teardown).
+# Writes the committed snapshot at the repo root (test_report parses it
+# strictly).
+"$BUILD_DIR/bench_fig_homeflush" --smoke --json BENCH_fig_homeflush.json
+test -s BENCH_fig_homeflush.json
+
 # Policy-layer invariant: executors and scheme TUs ask the FreeSchedule
 # for every batching quantum; only smr/free_schedule.cpp may read the
 # raw SmrConfig batching knobs.
-if grep -nE 'cfg_?\.\s*(batch_size|af_drain_per_op|latency_target_us)' \
+if grep -nE 'cfg_?\.\s*(batch_size|af_drain_per_op|latency_target_us|flush_batch)' \
     smr/free_executor.cpp smr/pooling_executor.hpp smr/ebr.cpp \
     smr/token.cpp smr/hp.cpp smr/he_ibr_wfe.cpp smr/nbr.cpp; then
   echo "ci/check.sh: executor/scheme TU reads a raw batching knob —" \
@@ -127,6 +138,10 @@ if [ -x "$TSAN_DIR/test_ds" ]; then
   # ThreadHandle register/deregister churn and retires across every
   # reclaimer family, with exact ledger checks after the dust settles.
   "$TSAN_DIR/test_service" --gtest_filter='*DaemonChurn*'
+  # Home-flush MPSC stash: many producer lanes push one owner's stash
+  # while the owner concurrently flushes — no loss, no double free,
+  # exact stashed == flushed ledger after teardown.
+  "$TSAN_DIR/test_homeflush" --gtest_filter='*Concurrent*'
 else
   # Without GTest the unit suites (and this race check) don't build;
   # mirror the main build's degrade-with-a-warning behaviour.

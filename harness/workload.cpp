@@ -54,6 +54,21 @@ void apply_env_overrides(TrialConfig& cfg) {
     // valid choices instead of silently running the wrong policy.
     cfg.smr.schedule = env_str("EMR_SCHEDULE", cfg.smr.schedule);
   }
+  if (env_has("EMR_FLUSH_BATCH")) {
+    const long long v = env_i64("EMR_FLUSH_BATCH", -1);
+    if (v < 1) {
+      throw std::invalid_argument(
+          "invalid EMR_FLUSH_BATCH: '" + env_str("EMR_FLUSH_BATCH", "") +
+          "' (must be >= 1: the home-flush quantum's ceiling)");
+    }
+    cfg.smr.flush_batch = static_cast<std::size_t>(v);
+  }
+  if (env_has("EMR_HOME_FLUSH")) {
+    // Validity ("on" | "off") is enforced by make_reclaimer, so a typo
+    // fails loudly there instead of silently keeping the name-derived
+    // routing setting.
+    cfg.smr.home_flush = env_str("EMR_HOME_FLUSH", cfg.smr.home_flush);
+  }
   if (env_has("EMR_DRAIN_MIN")) {
     const long long v = env_i64("EMR_DRAIN_MIN", -1);
     if (v < 1) {
@@ -1074,6 +1089,15 @@ TrialResult Trial::run() {
         std::memory_order_relaxed);
   }
   r.threads_churned = churned;
+  // Read after flush_all so this is the post-teardown ledger: with
+  // routing on, stashed == flushed and stash_backlog_end == 0, or
+  // blocks were stranded (a routing bug the ledger exists to catch).
+  {
+    smr::FreeExecutor& ex = bundle_.reclaimer->executor();
+    r.stashed = ex.total_stashed();
+    r.flushed = ex.total_flushed();
+    r.stash_backlog_end = ex.total_stash_backlog();
+  }
   for (const ScheduleSample& s : schedule_trace) {
     r.peak_backlog = std::max(r.peak_backlog, s.backlog);
     r.max_drain_quota = std::max(r.max_drain_quota, s.drain_quota);

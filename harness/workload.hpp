@@ -239,6 +239,16 @@ struct TrialResult {
   std::vector<ScheduleSample> schedule_trace;
   std::uint64_t peak_backlog = 0;
   std::uint64_t max_drain_quota = 0;
+  /// Home-flush routing ledger, read after the teardown flush: blocks a
+  /// FreeExecutor rerouted onto an owner's remote-free stash, blocks
+  /// that have left a stash (owner flush, daemon drain, departure
+  /// adoption, quiesce), and blocks still parked at teardown. With
+  /// routing on, stashed == flushed and stash_backlog_end == 0 — every
+  /// rerouted block reached its free. All three read zero when routing
+  /// is off.
+  std::uint64_t stashed = 0;
+  std::uint64_t flushed = 0;
+  std::uint64_t stash_backlog_end = 0;
   /// Per-op latency over the measured window (zeros unless
   /// enable_latency or a latency-feedback schedule armed the recorder).
   /// Percentiles are log2-bucket interpolations clamped to the exact

@@ -40,10 +40,17 @@ struct SealedBag {
 struct alignas(64) EbrSlot {
   // (epoch << 1) | active. Inactive threads never block an advance.
   std::atomic<std::uint64_t> announce{0};
-  std::vector<void*> bag;
+  // Owner-private bookkeeping starts on its own cache line: every
+  // advance scan reads every slot's announce, and the owner rewrites
+  // bag/ops on every retire — sharing the line would bounce it across
+  // the whole population once per epoch check.
+  alignas(64) std::vector<void*> bag;
   std::deque<SealedBag> sealed;
   std::uint64_t ops = 0;
 };
+static_assert(alignof(EbrSlot) == 64 && sizeof(EbrSlot) % 64 == 0,
+              "EbrSlot must tile cache lines so announce never shares "
+              "one with a neighbour slot");
 
 class EbrReclaimer final : public Reclaimer {
  public:

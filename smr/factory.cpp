@@ -46,17 +46,22 @@ bool takes_suffix(const std::string& name) {
 }  // namespace
 
 std::string reclaimer_base_name(const std::string& name) {
-  if (takes_suffix(name)) {
-    if (ends_with(name, "_af")) return name.substr(0, name.size() - 3);
-    if (ends_with(name, "_pool")) return name.substr(0, name.size() - 5);
-    if (ends_with(name, "_adaptive")) {
-      return name.substr(0, name.size() - 9);
+  // "_hf" (home-flush) is the outermost suffix: it composes with every
+  // suffixable form (hp_hf, hp_af_hf, token_latency_hf), so strip it
+  // before the schedule suffix.
+  std::string rest = name;
+  if (ends_with(rest, "_hf")) rest = rest.substr(0, rest.size() - 3);
+  if (takes_suffix(rest)) {
+    if (ends_with(rest, "_af")) return rest.substr(0, rest.size() - 3);
+    if (ends_with(rest, "_pool")) return rest.substr(0, rest.size() - 5);
+    if (ends_with(rest, "_adaptive")) {
+      return rest.substr(0, rest.size() - 9);
     }
-    if (ends_with(name, "_latency")) {
-      return name.substr(0, name.size() - 8);
+    if (ends_with(rest, "_latency")) {
+      return rest.substr(0, rest.size() - 8);
     }
   }
-  return name;
+  return rest;
 }
 
 ReclaimerBundle make_reclaimer(const std::string& name, const SmrContext& ctx,
@@ -65,14 +70,37 @@ ReclaimerBundle make_reclaimer(const std::string& name, const SmrContext& ctx,
     throw std::invalid_argument("make_reclaimer: SmrContext.allocator unset");
   }
 
-  // Split off the free-schedule suffix. Suffixed forms of the fixed
-  // token variants ("token_naive_af") are not in the name grammar —
-  // reject them rather than constructing an untested combination.
-  const std::string base = reclaimer_base_name(name);
+  // Split off the trailing home-flush marker first ("hp_af_hf" ->
+  // "hp_af" + routing on), then the free-schedule suffix.
+  // SmrConfig::home_flush ("on"/"off", EMR_HOME_FLUSH) overrides the
+  // name-derived setting either way, so one binary can A/B the routing
+  // layer without renaming its reclaimer column.
+  bool hf = false;
+  std::string stem = name;
+  if (ends_with(stem, "_hf")) {
+    hf = true;
+    stem = stem.substr(0, stem.size() - 3);
+  }
+  if (!cfg.home_flush.empty()) {
+    if (cfg.home_flush == "on") {
+      hf = true;
+    } else if (cfg.home_flush == "off") {
+      hf = false;
+    } else {
+      throw std::invalid_argument(
+          "invalid SmrConfig::home_flush: '" + cfg.home_flush +
+          "' (EMR_HOME_FLUSH must be \"on\" or \"off\")");
+    }
+  }
+
+  // Suffixed forms of the fixed token variants ("token_naive_af",
+  // "token_naive_hf") are not in the name grammar — reject them rather
+  // than constructing an untested combination.
+  const std::string base = reclaimer_base_name(stem);
   if (!takes_suffix(base) && base != name) {
     throw std::invalid_argument("unknown reclaimer: " + name);
   }
-  const std::string suffix = name.substr(base.size());
+  const std::string suffix = stem.substr(base.size());
   ExecKind exec = ExecKind::kBatch;
   ScheduleKind sched = ScheduleKind::kFixed;
   if (suffix == "_af") {
@@ -96,6 +124,7 @@ ReclaimerBundle make_reclaimer(const std::string& name, const SmrContext& ctx,
   // the suffix-derived kind inside make_free_schedule.
   bundle.schedule = make_free_schedule(sched, cfg);
   bundle.executor = make_executor(exec, ctx, cfg, bundle.schedule.get());
+  bundle.executor->set_home_flush(hf);
 
   // Token family.
   TokenOptions topt;
@@ -179,11 +208,14 @@ const std::vector<std::string>& all_factory_names() {
     std::vector<std::string> names;
     for (const std::string& base : reclaimer_names()) {
       names.push_back(base);
-      if (takes_suffix(base)) {
-        names.push_back(base + "_af");
-        names.push_back(base + "_pool");
-        names.push_back(base + "_adaptive");
-        names.push_back(base + "_latency");
+      if (!takes_suffix(base)) continue;
+      names.push_back(base + "_af");
+      names.push_back(base + "_pool");
+      names.push_back(base + "_adaptive");
+      names.push_back(base + "_latency");
+      // Home-flush twin of every suffixable form.
+      for (const char* sfx : {"", "_af", "_pool", "_adaptive", "_latency"}) {
+        names.push_back(base + sfx + "_hf");
       }
     }
     return names;

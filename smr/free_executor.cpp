@@ -14,7 +14,8 @@ FreeExecutor::FreeExecutor(const SmrContext& ctx, const SmrConfig& cfg,
       stats_hungry_(schedule->consumes_lane_stats()),
       tenants_(cfg.tenants < 1 ? 1 : cfg.tenants),
       multi_tenant_(tenants_ > 1),
-      lanes_(cfg.slot_capacity()) {
+      lanes_(cfg.slot_capacity()),
+      stash_(cfg.slot_capacity()) {
   if (multi_tenant_) {
     // Value-initialized atomic grids: every counter starts at zero.
     const std::size_t cells =
@@ -61,6 +62,153 @@ void FreeExecutor::timed_free_as(int stats_lane, int alloc_lane, void* p) {
   lane_state(stats_lane).drained.fetch_add(1, std::memory_order_relaxed);
 }
 
+void FreeExecutor::timed_hint_free(int stats_lane, int alloc_lane, void* p) {
+  Timeline* tl = ctx_.timeline;
+  if (tl != nullptr && tl->enabled()) {
+    const std::uint64_t t0 = now_ns();
+    ctx_.allocator->free_local_hint(alloc_lane, p);
+    tl->record(alloc_lane, EventKind::kFreeCall, t0, now_ns());
+  } else {
+    ctx_.allocator->free_local_hint(alloc_lane, p);
+  }
+  freed_.fetch_add(1, std::memory_order_relaxed);
+  lane_state(stats_lane).drained.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FreeExecutor::routed_free(int stats_lane, int alloc_lane, void* p) {
+  if (home_flush_ && !teardown_.load(std::memory_order_relaxed)) {
+    const int home = ctx_.allocator->home_lane(p);
+    if (home >= 0 && home != alloc_lane &&
+        static_cast<std::size_t>(home) < stash_.size()) {
+      stash_push(stats_lane, home, p);
+      return;
+    }
+  }
+  timed_free_as(stats_lane, alloc_lane, p);
+}
+
+void FreeExecutor::stash_push(int stats_lane, int home, void* p) {
+  lane_state(stats_lane).stashed.fetch_add(1, std::memory_order_relaxed);
+  RemoteStash& s = stash_[static_cast<std::size_t>(home)];
+  // Gauge up *before* the node publishes: a drainer can only decrement
+  // after its acquire-exchange observed this push's release-CAS, which
+  // orders the increment first — the gauge never reads negative.
+  s.backlog.fetch_add(1, std::memory_order_relaxed);
+  // The node is dead (ownership transferred at hand-over), so its first
+  // 8 bytes — the NodeHeader the reclaimer owns — carry the intrusive
+  // link. Plain store is race-free: publication happens via the head.
+  void* old = s.head.load(std::memory_order_relaxed);
+  do {
+    *static_cast<void**>(p) = old;
+  } while (!s.head.compare_exchange_weak(old, p, std::memory_order_release,
+                                         std::memory_order_relaxed));
+}
+
+std::size_t FreeExecutor::drain_stash(int lane, std::size_t quota,
+                                      int alloc_lane) {
+  const std::size_t i = static_cast<std::size_t>(lane);
+  RemoteStash& s = stash_[i < stash_.size() ? i : 0];
+  if (quota == 0 || s.backlog.load(std::memory_order_relaxed) == 0) {
+    return 0;
+  }
+  LaneState& l = lane_state(lane);
+  const std::uint64_t t0 = stats_hungry_ ? now_ns() : 0;
+  std::size_t n = 0;
+  {
+    LaneLock lock(l, daemon_hooked_);
+    while (n < quota) {
+      if (l.stash_chain == nullptr) {
+        // Grab the whole Treiber stack in one exchange; the remainder
+        // over quota waits in the private chain for the next flush.
+        l.stash_chain = s.head.exchange(nullptr, std::memory_order_acquire);
+        if (l.stash_chain == nullptr) break;
+      }
+      void* p = l.stash_chain;
+      l.stash_chain = *static_cast<void**>(p);
+      timed_hint_free(lane, alloc_lane, p);
+      s.flushed.fetch_add(1, std::memory_order_relaxed);
+      s.backlog.fetch_sub(1, std::memory_order_relaxed);
+      ++n;
+    }
+  }
+  if (stats_hungry_) {
+    l.drain_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+    l.timed_drained.fetch_add(n, std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void FreeExecutor::maybe_flush_stash(int lane) {
+  if (!home_flush_) return;
+  if (teardown_.load(std::memory_order_relaxed)) {
+    // A mid-run flush_all latched routing off; an op ending proves the
+    // bundle is live again, so re-arm.
+    teardown_.store(false, std::memory_order_relaxed);
+  }
+  const std::size_t i = static_cast<std::size_t>(lane);
+  if (stash_[i < stash_.size() ? i : 0].backlog.load(
+          std::memory_order_relaxed) == 0) {
+    return;
+  }
+  const std::size_t quota =
+      stats_hungry_ ? schedule_->flush_quota(lane_stats(lane))
+                    : schedule_->flush_quota(LaneStats{});
+  drain_stash(lane, quota, lane);
+}
+
+void FreeExecutor::on_lane_released(int lane) {
+  if (!home_flush_) return;
+  const std::size_t i = static_cast<std::size_t>(lane);
+  RemoteStash& s = stash_[i < stash_.size() ? i : 0];
+  LaneState& l = lane_state(lane);
+  std::vector<void*> bag;
+  {
+    LaneLock lock(l, daemon_hooked_);
+    void* p = l.stash_chain;
+    l.stash_chain = nullptr;
+    while (p != nullptr) {
+      bag.push_back(p);
+      p = *static_cast<void**>(p);
+    }
+    p = s.head.exchange(nullptr, std::memory_order_acquire);
+    while (p != nullptr) {
+      bag.push_back(p);
+      p = *static_cast<void**>(p);
+    }
+  }
+  if (bag.empty()) return;
+  // The blocks leave the stash (counted flushed) and re-enter through
+  // the churn-aware adoption path, so the successor — or the daemon, or
+  // flush_all — drains them at the usual quota instead of in a burst.
+  s.flushed.fetch_add(bag.size(), std::memory_order_relaxed);
+  s.backlog.fetch_sub(bag.size(), std::memory_order_relaxed);
+  on_adopted(lane, std::move(bag));
+}
+
+std::uint64_t FreeExecutor::total_stashed() const {
+  std::uint64_t t = 0;
+  for (const LaneState& l : lanes_) {
+    t += l.stashed.load(std::memory_order_relaxed);
+  }
+  return t;
+}
+
+std::uint64_t FreeExecutor::total_flushed() const {
+  std::uint64_t t = 0;
+  for (const RemoteStash& s : stash_) {
+    t += s.flushed.load(std::memory_order_relaxed);
+  }
+  return t;
+}
+
+std::uint64_t FreeExecutor::total_stash_backlog() const {
+  std::uint64_t t = 0;
+  for (const RemoteStash& s : stash_) {
+    t += s.backlog.load(std::memory_order_relaxed);
+  }
+  return t;
+}
+
 void FreeExecutor::on_adopted(int lane, std::vector<void*>&& bag) {
   if (bag.empty()) return;
   LaneState& l = lane_state(lane);
@@ -93,7 +241,7 @@ std::size_t FreeExecutor::drain_adopted(int lane, std::size_t quota) {
         note_tenant_drained(lane, l.adopted_tags.front(), 1);
         l.adopted_tags.pop_front();
       }
-      timed_free(lane, p);
+      routed_free(lane, lane, p);
       ++n;
     }
     l.adopted_backlog.store(l.adopted.size(), std::memory_order_relaxed);
@@ -111,43 +259,63 @@ void FreeExecutor::on_op_end(int lane) {
   if (l.adopted_backlog.load(std::memory_order_relaxed) != 0) {
     drain_adopted(lane, drain_quota_for(lane));
   }
+  maybe_flush_stash(lane);
 }
 
 void FreeExecutor::quiesce(int lane) {
+  // Latch routing off for the rest of the teardown pass: the schemes'
+  // flush_all loops interleave hand-over and quiesce per lane, and a
+  // post-quiesce hand-over must not scatter blocks into stashes that
+  // were already drained. Pre-latch pushes are safe — every lane's
+  // quiesce drains its own stash below, and flush_all visits them all.
+  teardown_.store(true, std::memory_order_relaxed);
   LaneState& l = lane_state(lane);
-  LaneLock lock(l, daemon_hooked_);
-  while (!l.adopted.empty()) {
-    void* p = l.adopted.front();
-    l.adopted.pop_front();
-    if (multi_tenant_) {
-      note_tenant_drained(lane, l.adopted_tags.front(), 1);
-      l.adopted_tags.pop_front();
+  {
+    LaneLock lock(l, daemon_hooked_);
+    while (!l.adopted.empty()) {
+      void* p = l.adopted.front();
+      l.adopted.pop_front();
+      if (multi_tenant_) {
+        note_tenant_drained(lane, l.adopted_tags.front(), 1);
+        l.adopted_tags.pop_front();
+      }
+      timed_free(lane, p);
     }
-    timed_free(lane, p);
+    l.adopted_backlog.store(0, std::memory_order_relaxed);
   }
-  l.adopted_backlog.store(0, std::memory_order_relaxed);
+  if (home_flush_) {
+    while (drain_stash(lane, ~std::size_t{0}, lane) != 0) {
+    }
+  }
 }
 
 std::size_t FreeExecutor::daemon_drain(int lane, std::size_t quota,
                                        int daemon_lane) {
   LaneState& l = lane_state(lane);
-  if (quota == 0 ||
-      l.adopted_backlog.load(std::memory_order_relaxed) == 0) {
-    return 0;
-  }
   std::size_t n = 0;
-  LaneLock lock(l, true);
-  while (n < quota && !l.adopted.empty()) {
-    void* p = l.adopted.front();
-    l.adopted.pop_front();
-    if (multi_tenant_) {
-      note_tenant_drained(lane, l.adopted_tags.front(), 1);
-      l.adopted_tags.pop_front();
+  if (quota != 0 &&
+      l.adopted_backlog.load(std::memory_order_relaxed) != 0) {
+    LaneLock lock(l, true);
+    while (n < quota && !l.adopted.empty()) {
+      void* p = l.adopted.front();
+      l.adopted.pop_front();
+      if (multi_tenant_) {
+        note_tenant_drained(lane, l.adopted_tags.front(), 1);
+        l.adopted_tags.pop_front();
+      }
+      timed_free_as(lane, daemon_lane, p);
+      ++n;
     }
-    timed_free_as(lane, daemon_lane, p);
-    ++n;
+    l.adopted_backlog.store(l.adopted.size(), std::memory_order_relaxed);
   }
-  l.adopted_backlog.store(l.adopted.size(), std::memory_order_relaxed);
+  // Orphan/idle stash coverage: when routing is armed, the remaining
+  // quota flushes this lane's stash from the daemon — the path that
+  // keeps departed or idle lanes from stranding stashed blocks. The
+  // frees go through free_local_hint (remote attribution stays exact;
+  // the per-block penalty was amortized by the batch hand-off).
+  if (home_flush_ && n < quota) {
+    n += drain_stash(lane, quota - n, daemon_lane);
+  }
   return n;
 }
 
@@ -156,19 +324,34 @@ std::uint64_t FreeExecutor::backlog() const {
   for (std::size_t i = 0; i < lanes_.size(); ++i) {
     total += lanes_[i].adopted_backlog.load(std::memory_order_relaxed);
     total += lane_backlog(static_cast<int>(i));
+    total += stash_[i].backlog.load(std::memory_order_relaxed);
   }
   return total;
 }
 
 LaneStats FreeExecutor::lane_stats(int lane) const {
   const LaneState& l = lane_state(lane);
+  const std::size_t i = static_cast<std::size_t>(lane);
+  const RemoteStash& st = stash_[i < stash_.size() ? i : 0];
   LaneStats s;
   s.ops = l.ops.load(std::memory_order_relaxed);
-  s.enqueued = l.enqueued.load(std::memory_order_relaxed);
+  // Mid-trial snapshots are unsynchronized by design (one relaxed load
+  // per counter; no lock on the hot path), so pairs of counters can
+  // tear. The exit-side counters (drained, flushed) are read *before*
+  // their entry-side partners (enqueued, stashed): exits only follow
+  // entries, so a later-read entry counter is always >= the
+  // earlier-read exit counter and derived gauges (enqueued - drained,
+  // stashed - flushed) never go negative. The backlog gauges are
+  // maintained entry-first for the same reason (see stash_push) rather
+  // than derived here.
   s.drained = l.drained.load(std::memory_order_relaxed);
+  s.enqueued = l.enqueued.load(std::memory_order_relaxed);
   s.adopted = l.adopted_total.load(std::memory_order_relaxed);
+  s.flushed = st.flushed.load(std::memory_order_relaxed);
+  s.stashed = l.stashed.load(std::memory_order_relaxed);
+  s.stash_backlog = st.backlog.load(std::memory_order_relaxed);
   s.backlog = l.adopted_backlog.load(std::memory_order_relaxed) +
-              lane_backlog(lane);
+              lane_backlog(lane) + s.stash_backlog;
   s.drain_ns = l.drain_ns.load(std::memory_order_relaxed);
   s.timed_drained = l.timed_drained.load(std::memory_order_relaxed);
   if (multi_tenant_) {
@@ -221,7 +404,7 @@ void BatchFreeExecutor::on_reclaimable(int lane, std::vector<void*>&& bag) {
   Timeline* tl = ctx_.timeline;
   const bool instrumented = tl != nullptr && tl->enabled();
   const std::uint64_t t0 = instrumented ? now_ns() : 0;
-  for (void* p : bag) timed_free(lane, p);
+  for (void* p : bag) routed_free(lane, lane, p);
   if (instrumented) tl->record(lane, EventKind::kBatchFree, t0, now_ns());
 }
 
@@ -281,7 +464,7 @@ std::size_t AmortizedFreeExecutor::drain_freeable(int lane_idx,
         note_tenant_drained(lane_idx, f.tags.front(), 1);
         f.tags.pop_front();
       }
-      timed_free(lane_idx, p);
+      routed_free(lane_idx, lane_idx, p);
       ++n;
     }
     f.size.store(f.nodes.size(), std::memory_order_relaxed);
@@ -301,6 +484,7 @@ void AmortizedFreeExecutor::on_op_end(int lane_idx) {
   const std::size_t quota = drain_quota_for(lane_idx);
   const std::size_t used = drain_adopted(lane_idx, quota);
   drain_freeable(lane_idx, quota - used, 0);
+  maybe_flush_stash(lane_idx);
 }
 
 void AmortizedFreeExecutor::quiesce(int lane_idx) {
@@ -397,6 +581,7 @@ void PoolingFreeExecutor::on_op_end(int lane_idx) {
   // The backlog is inventory: trim only the excess over the schedule's
   // pool cap, inside the same per-op quota.
   drain_freeable(lane_idx, quota - used, schedule_->pool_cap());
+  maybe_flush_stash(lane_idx);
 }
 
 }  // namespace emr::smr

@@ -31,7 +31,8 @@ std::size_t auto_pool_cap(const SmrConfig& cfg) {
 FixedFreeSchedule::FixedFreeSchedule(const SmrConfig& cfg)
     : drain_(std::max<std::size_t>(cfg.af_drain_per_op, 1)),
       batch_(cfg.batch_size),
-      pool_cap_(auto_pool_cap(cfg)) {}
+      pool_cap_(auto_pool_cap(cfg)),
+      flush_batch_(cfg.flush_batch) {}
 
 AdaptiveFreeSchedule::AdaptiveFreeSchedule(const SmrConfig& cfg)
     : batch_(cfg.batch_size),
@@ -41,7 +42,8 @@ AdaptiveFreeSchedule::AdaptiveFreeSchedule(const SmrConfig& cfg)
                                                        : cfg.num_threads)),
       drain_min_(cfg.drain_min),
       drain_max_(cfg.drain_max),
-      pool_cap_(auto_pool_cap(cfg)) {}
+      pool_cap_(auto_pool_cap(cfg)),
+      flush_batch_(cfg.flush_batch) {}
 
 std::size_t AdaptiveFreeSchedule::drain_quota(const LaneStats& lane) const {
   if (lane.backlog == 0) return drain_min();
@@ -61,6 +63,17 @@ std::size_t AdaptiveFreeSchedule::drain_quota(const LaneStats& lane) const {
         quota, static_cast<std::size_t>(kMaxDrainNsPerOp / ns_per_free) + 1);
   }
   return std::clamp(quota, drain_min(), drain_max());
+}
+
+std::size_t AdaptiveFreeSchedule::flush_quota(const LaneStats& lane) const {
+  if (lane.stash_backlog == 0) return 1;
+  const std::size_t pop =
+      std::max<std::size_t>(population_.load(std::memory_order_relaxed), 1);
+  const std::size_t horizon =
+      std::max<std::size_t>(kDrainHorizonOps * base_threads_ / pop, 1);
+  const std::size_t quota =
+      static_cast<std::size_t>(lane.stash_backlog) / horizon + 1;
+  return std::clamp<std::size_t>(quota, 1, flush_batch_);
 }
 
 std::size_t AdaptiveFreeSchedule::scan_threshold(
@@ -84,6 +97,13 @@ std::size_t LatencyTargetFreeSchedule::drain_quota(
   const std::size_t base = AdaptiveFreeSchedule::drain_quota(lane);
   const std::size_t s = scale_.load(std::memory_order_relaxed);
   return std::clamp(base * s / kScaleUnit, drain_min(), drain_max());
+}
+
+std::size_t LatencyTargetFreeSchedule::flush_quota(
+    const LaneStats& lane) const {
+  const std::size_t base = AdaptiveFreeSchedule::flush_quota(lane);
+  const std::size_t s = scale_.load(std::memory_order_relaxed);
+  return std::clamp<std::size_t>(base * s / kScaleUnit, 1, flush_batch());
 }
 
 void LatencyTargetFreeSchedule::on_tail_latency(std::uint64_t p999_ns) {
@@ -118,6 +138,10 @@ std::unique_ptr<FreeSchedule> make_free_schedule(ScheduleKind kind,
   if (cfg.batch_size == 0) {
     throw std::invalid_argument(
         "invalid SmrConfig::batch_size: 0 (EMR_BATCH must be >= 1)");
+  }
+  if (cfg.flush_batch == 0) {
+    throw std::invalid_argument(
+        "invalid SmrConfig::flush_batch: 0 (EMR_FLUSH_BATCH must be >= 1)");
   }
   if (cfg.drain_min == 0) {
     throw std::invalid_argument(

@@ -50,6 +50,11 @@ class FixedFreeSchedule final : public FreeSchedule {
   std::size_t drain_quota(const LaneStats&) const override { return drain_; }
   std::size_t scan_threshold(std::size_t) const override { return batch_; }
   std::size_t pool_cap() const override { return pool_cap_; }
+  /// Home-flush quantum mirrors the config constant, like every other
+  /// fixed quantum: EMR_FLUSH_BATCH stashed blocks per op end.
+  std::size_t flush_quota(const LaneStats&) const override {
+    return flush_batch_;
+  }
   /// Constant quantum: executors skip the per-op stats snapshot and
   /// drain-cost clocking, keeping the paper-reproduction rows on the
   /// pre-policy-layer hot path.
@@ -68,6 +73,7 @@ class FixedFreeSchedule final : public FreeSchedule {
   std::size_t drain_;
   std::size_t batch_;
   std::size_t pool_cap_;
+  std::size_t flush_batch_;
 };
 
 class AdaptiveFreeSchedule : public FreeSchedule {
@@ -78,6 +84,14 @@ class AdaptiveFreeSchedule : public FreeSchedule {
   std::size_t drain_quota(const LaneStats& lane) const override;
   std::size_t scan_threshold(std::size_t population) const override;
   std::size_t pool_cap() const override { return pool_cap_; }
+  /// Backlog-proportional flush quantum: the lane's stash backlog over
+  /// the same population-tightened horizon the drain controller uses,
+  /// clamped to [1, EMR_FLUSH_BATCH]. A lane whose stash is being fed
+  /// faster than it drains flushes harder; a quiet stash costs one
+  /// block's worth of work per op end. No ns-per-free cap: flushed
+  /// blocks take the local fast path, which is the cheap case the
+  /// drain-side cap exists to protect.
+  std::size_t flush_quota(const LaneStats& lane) const override;
   void on_population(std::size_t n) override {
     population_.store(n, std::memory_order_relaxed);
   }
@@ -92,6 +106,7 @@ class AdaptiveFreeSchedule : public FreeSchedule {
   // bounds the base controller honours.
   std::size_t drain_min() const { return drain_min_; }
   std::size_t drain_max() const { return drain_max_; }
+  std::size_t flush_batch() const { return flush_batch_; }
 
  private:
   std::size_t batch_;
@@ -100,6 +115,7 @@ class AdaptiveFreeSchedule : public FreeSchedule {
   std::size_t drain_min_;
   std::size_t drain_max_;
   std::size_t pool_cap_;
+  std::size_t flush_batch_;
   std::atomic<std::size_t> population_{0};
 };
 
@@ -127,6 +143,11 @@ class LatencyTargetFreeSchedule final : public AdaptiveFreeSchedule {
 
   const char* name() const override { return "latency"; }
   std::size_t drain_quota(const LaneStats& lane) const override;
+  /// The adaptive flush quantum under the same tail scale as the drain
+  /// quantum — a stressed tail shrinks home-flush bursts too — but
+  /// floored at 1, never 0: a stash that stops draining strands remote
+  /// blocks on live lanes, which the latency policy must not do.
+  std::size_t flush_quota(const LaneStats& lane) const override;
   void on_tail_latency(std::uint64_t p999_ns) override;
   bool wants_latency_feedback() const override { return true; }
   /// The tail scale exists to keep drain bursts off the *op* path; a
@@ -157,9 +178,9 @@ class LatencyTargetFreeSchedule final : public AdaptiveFreeSchedule {
 };
 
 /// Builds the policy, failing fast (std::invalid_argument naming the
-/// knob) on nonsensical config: batch_size == 0, drain_min == 0,
-/// drain_max < drain_min, or a zero latency_target_us for the latency
-/// policy. `kind` is the factory-name default; SmrConfig::schedule
+/// knob) on nonsensical config: batch_size == 0, flush_batch == 0,
+/// drain_min == 0, drain_max < drain_min, or a zero latency_target_us
+/// for the latency policy. `kind` is the factory-name default; SmrConfig::schedule
 /// ("fixed" | "adaptive" | "latency", EMR_SCHEDULE) overrides it, and
 /// any other non-empty value throws.
 std::unique_ptr<FreeSchedule> make_free_schedule(ScheduleKind kind,

@@ -60,10 +60,16 @@ struct alignas(64) EraThread {
   std::atomic<std::uint64_t> upper{0};
   // wfe fallback: reserves every era >= this value (0 = none).
   std::atomic<std::uint64_t> open{0};
-  std::vector<RetiredNode> retired;
+  // Owner-private bookkeeping on its own line: every scan reads every
+  // thread's reservations above, and the owner appends to retired on
+  // every retire — a shared line would bounce once per scanned slot.
+  alignas(64) std::vector<RetiredNode> retired;
   std::size_t scan_at = 0;
   std::uint64_t allocs = 0;
 };
+static_assert(alignof(EraThread) == 64 && sizeof(EraThread) % 64 == 0,
+              "EraThread must tile cache lines so the published "
+              "reservations never share one with a neighbour slot");
 
 const char* era_variant_name(EraVariant v) {
   switch (v) {

@@ -63,10 +63,16 @@ struct alignas(64) NbrThread {
   std::atomic<std::uint64_t> start{0};
   // Raised by reclaimers; the next protect() restarts the read block.
   std::atomic<bool> neutralize{false};
-  std::vector<RetiredNode> retired;
+  // Owner-private bookkeeping on its own line: scanners read start and
+  // write neutralize on every reclaim pass, while the owner appends to
+  // retired on every retire — keep the ping-pong off the retire path.
+  alignas(64) std::vector<RetiredNode> retired;
   std::size_t scan_at = 0;
   std::uint64_t allocs = 0;
 };
+static_assert(alignof(NbrThread) == 64 && sizeof(NbrThread) % 64 == 0,
+              "NbrThread must tile cache lines so start/neutralize never "
+              "share one with a neighbour slot");
 
 class NbrReclaimer final : public Reclaimer {
  public:

@@ -52,16 +52,34 @@ void Reclaimer::deregister(ThreadHandle& h) {
   executor().schedule().on_population(live);
   on_population_change(live);
   on_slot_deregister(slot);
+  // After the scheme has parked the slot's bags, splice the departing
+  // lane's remote-free stash into the adoption queue: a vacant lane runs
+  // no ops, so nothing would flush it until the daemon's next sweep, and
+  // a daemon-less config would strand the blocks outright.
+  executor().on_lane_released(slot);
   free_slots_.push_back(slot);
 }
 
 SmrStats Reclaimer::stats_with_lanes() const {
-  SmrStats st = stats();
+  // Lanes first, then the scheme-wide totals: lane_stats() reads each
+  // lane's exit counters (drained/flushed) before its entry counters
+  // (enqueued/stashed), so a concurrent op can only make a lane look
+  // slightly *behind* — derived gauges (backlog, stash_backlog) never go
+  // transiently negative. The scheme totals are read last for the same
+  // reason: they can only over-count completed work relative to the lane
+  // rows, never report work the lanes have not yet seen. The snapshot as
+  // a whole is still not a single atomic cut — rows taken while traffic
+  // is live may disagree by in-flight ops — and consumers (JSON
+  // emitters, the daemon tick) must treat it as monotone-consistent, not
+  // exact.
   FreeExecutor& ex = const_cast<Reclaimer*>(this)->executor();
-  st.lanes.reserve(ex.lane_count());
+  std::vector<LaneStats> lanes;
+  lanes.reserve(ex.lane_count());
   for (std::size_t i = 0; i < ex.lane_count(); ++i) {
-    st.lanes.push_back(ex.lane_stats(static_cast<int>(i)));
+    lanes.push_back(ex.lane_stats(static_cast<int>(i)));
   }
+  SmrStats st = stats();
+  st.lanes = std::move(lanes);
   return st;
 }
 

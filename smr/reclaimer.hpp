@@ -90,6 +90,17 @@ struct SmrConfig {
   /// under. Must be >= 1 for the latency schedule; other policies
   /// ignore it.
   std::uint64_t latency_target_us = 1000;
+  /// Home-flush routing (docs/FREE_SCHEDULES.md): ceiling on how many
+  /// stashed remote blocks the owning lane flushes locally at one op
+  /// end — the FreeSchedule::flush_quota quantum. Bigger batches
+  /// amortize the hand-off further but hold more dead memory in the
+  /// stashes (the "too epic" trade-off one layer down). Must be >= 1.
+  /// EMR_FLUSH_BATCH.
+  std::size_t flush_batch = 64;
+  /// Home-flush routing override: "" follows the factory name (*_hf
+  /// names route, others do not); "on"/"off" forces it for any name.
+  /// Anything else fails fast in make_reclaimer. EMR_HOME_FLUSH.
+  std::string home_flush;
   /// Reclamation tenants sharing this bundle (docs/SERVICE_MODE.md):
   /// the executor keeps per-(lane, tenant) retire/enqueue/drain
   /// counters so one tenant's garbage crowding out another is a
@@ -147,6 +158,16 @@ struct LaneStats {
   /// skip the clock reads and leave both 0.
   std::uint64_t drain_ns = 0;
   std::uint64_t timed_drained = 0;
+  /// Home-flush routing (docs/FREE_SCHEDULES.md). `stashed` counts
+  /// blocks this lane diverted into some owner's stash instead of
+  /// freeing them foreign; `flushed` counts blocks that left *this*
+  /// lane's stash (flushed locally by the owner, drained by the
+  /// daemon, or folded into the adoption queue when the lane
+  /// departed); `stash_backlog` is the gauge of blocks currently
+  /// sitting in this lane's stash (also folded into `backlog`).
+  std::uint64_t stashed = 0;
+  std::uint64_t flushed = 0;
+  std::uint64_t stash_backlog = 0;
   /// Per-tenant split of this lane's traffic, indexed by tenant id.
   /// Populated by lane_stats() only when the bundle runs multiple
   /// tenants (SmrConfig::tenants > 1) — single-tenant bundles leave the
@@ -226,6 +247,19 @@ class FreeSchedule {
   /// the hot path (drain_ns then stays zero).
   virtual bool consumes_lane_stats() const { return true; }
 
+  /// Home-flush quantum: how many blocks parked in this lane's
+  /// remote-free stash the owner may flush locally at one op end
+  /// (docs/FREE_SCHEDULES.md). Like drain_quota it is a hard per-op
+  /// ceiling; unlike drain_quota the work is all-local frees, so
+  /// policies may afford a larger quantum. Called concurrently from
+  /// every lane (and the daemon) like drain_quota. The default is a
+  /// modest constant so third-party policies keep working; the shipped
+  /// policies derive it from SmrConfig::flush_batch.
+  virtual std::size_t flush_quota(const LaneStats& lane) const {
+    (void)lane;
+    return 64;
+  }
+
   /// Nodes one background-reclaimer tick may free from this lane
   /// (smr/reclaimer_daemon.hpp). The daemon runs off the op path, so
   /// its quantum may exceed the per-op ceiling: the default scales the
@@ -292,6 +326,18 @@ struct SmrStats {
 ///    hook turns on a per-lane spinlock around every backlog mutation;
 ///    unhooked bundles never touch the lock, so daemon-off runs are
 ///    instruction-identical to a build without the daemon.
+///  - Home-flush routing (set_home_flush(true), the *_hf factory
+///    names): a drain path about to free a block whose allocator home
+///    lane differs from the freeing lane pushes it onto the home
+///    lane's lock-free MPSC stash instead (one release-CAS, no
+///    allocation — the link lives in the dead node's first 8 bytes).
+///    The owner flushes its own stash locally at
+///    FreeSchedule::flush_quota per op; the daemon covers departed or
+///    idle lanes; a departing lane's stash folds into the adoption
+///    queue; quiesce() drains the lane's stash completely and latches
+///    routing off, so teardown strands nothing. Routing off (the
+///    default) touches none of this — non-hf bundles stay
+///    instruction-identical to pre-routing builds.
 class FreeExecutor {
  public:
   FreeExecutor(const SmrContext& ctx, const SmrConfig& cfg,
@@ -337,6 +383,32 @@ class FreeExecutor {
   std::uint64_t total_freed() const {
     return freed_.load(std::memory_order_relaxed);
   }
+
+  // ---- home-flush routing (docs/FREE_SCHEDULES.md) ----
+
+  /// Arms remote-free routing through the per-lane owner stashes. The
+  /// factory flips it once at construction for *_hf names (or under
+  /// the EMR_HOME_FLUSH override); must not change while threads run.
+  void set_home_flush(bool on) { home_flush_ = on; }
+  bool home_flush() const { return home_flush_; }
+
+  /// Blocks ever diverted into a stash, summed over lanes.
+  std::uint64_t total_stashed() const;
+  /// Blocks that ever left a stash (owner flush, daemon drain,
+  /// departure adoption, quiesce), summed over lanes. At any quiescent
+  /// point total_stashed() == total_flushed() + total_stash_backlog();
+  /// after flush_all the backlog term is zero — the exact-ledger
+  /// teardown check.
+  std::uint64_t total_flushed() const;
+  /// Blocks currently sitting in stashes, summed over lanes.
+  std::uint64_t total_stash_backlog() const;
+
+  /// Registry hook: `lane`'s owner deregistered. Folds the lane's
+  /// stash into its adoption queue so a departed lane never strands
+  /// blocks — the successor (or daemon, or flush_all) drains them at
+  /// the usual quota instead of in a burst. Called under the
+  /// registration lock while the slot is unowned.
+  void on_lane_released(int lane);
 
   /// Nodes held in per-lane backlogs: adoption queues plus any
   /// executor-specific freeable lists.
@@ -412,10 +484,21 @@ class FreeExecutor {
     /// Tenant tags parallel to `adopted`, maintained only when
     /// multi-tenant (empty otherwise).
     std::deque<std::uint32_t> adopted_tags;
+    /// Un-flushed remainder of the last stash grab: the drainer takes
+    /// the whole Treiber stack in one exchange but flushes only
+    /// flush_quota blocks per op, so the rest waits here as a private
+    /// intrusive chain. Owned like `adopted` (owner thread, or the
+    /// daemon under `mu`); counted in RemoteStash::backlog until
+    /// freed.
+    void* stash_chain = nullptr;
     /// Guards the backlog containers; taken only while a daemon is
     /// hooked (uncontended test-and-set otherwise skipped entirely).
     Spinlock mu;
-    std::atomic<std::uint32_t> tenant{0};
+    /// Hot per-op counters start on their own cache line (alignas
+    /// below): the sampler/daemon read them concurrently, and sharing
+    /// a line with the owner-mutated containers above would ping-pong
+    /// every adoption push (the PR 10 false-sharing audit).
+    alignas(64) std::atomic<std::uint32_t> tenant{0};
     std::atomic<std::uint64_t> ops{0};
     std::atomic<std::uint64_t> enqueued{0};
     std::atomic<std::uint64_t> drained{0};
@@ -423,7 +506,28 @@ class FreeExecutor {
     std::atomic<std::uint64_t> adopted_backlog{0};
     std::atomic<std::uint64_t> drain_ns{0};
     std::atomic<std::uint64_t> timed_drained{0};
+    /// Blocks this lane diverted into some owner's stash (monotonic).
+    std::atomic<std::uint64_t> stashed{0};
   };
+  static_assert(alignof(LaneState) == 64 && sizeof(LaneState) % 64 == 0,
+                "LaneState must tile cache lines so lanes never share");
+
+  /// One lane's remote-free stash: a lock-free MPSC Treiber stack any
+  /// lane pushes onto (release-CAS; the link overlays the dead node's
+  /// NodeHeader) and only the owner — or the daemon/quiesce path under
+  /// the lane lock — pops, via a single exchange. Lives apart from
+  /// LaneState on its own cache line because *foreign* lanes write it:
+  /// pushers must not drag the owner's hot counters around with the
+  /// head pointer. `backlog` is incremented before the push publishes
+  /// and decremented only after a block leaves (free or adoption), so
+  /// the gauge never reads negative. `flushed` counts every exit.
+  struct alignas(64) RemoteStash {
+    std::atomic<void*> head{nullptr};
+    std::atomic<std::uint64_t> backlog{0};
+    std::atomic<std::uint64_t> flushed{0};
+  };
+  static_assert(sizeof(RemoteStash) == 64,
+                "RemoteStash must own exactly one cache line");
 
   /// RAII lane lock that collapses to nothing while no daemon is
   /// hooked — the common case pays one predictable branch.
@@ -452,9 +556,40 @@ class FreeExecutor {
   /// modelled thread caches stay single-owner.
   void timed_free_as(int stats_lane, int alloc_lane, void* p);
 
+  /// timed_free_as through allocator->free_local_hint: the stash-drain
+  /// free, promising the backend the cross-lane cost was already paid
+  /// in bulk.
+  void timed_hint_free(int stats_lane, int alloc_lane, void* p);
+
   /// Frees up to `quota` nodes from the lane's adoption queue; returns
   /// how many it freed. Takes the lane lock internally when hooked.
   std::size_t drain_adopted(int lane, std::size_t quota);
+
+  /// The hot-path free for every amortizing/batched drain: when
+  /// home-flush routing is armed and `p`'s allocator home lane is a
+  /// different live lane than `alloc_lane`, the block is pushed onto
+  /// the home lane's stash (counted `stashed` on `stats_lane`) instead
+  /// of being freed foreign; otherwise it is a plain timed_free_as.
+  /// quiesce() never routes (it frees directly), and the first quiesce
+  /// latches routing off for the rest of the teardown pass so
+  /// interleaved hand-over/quiesce loops cannot re-scatter blocks into
+  /// already-quiesced stashes.
+  void routed_free(int stats_lane, int alloc_lane, void* p);
+
+  /// Pushes `p` onto `home`'s stash. Lock-free, called from any lane.
+  void stash_push(int stats_lane, int home, void* p);
+
+  /// Flushes up to `quota` blocks from `lane`'s own stash through
+  /// allocator->free_local_hint on `alloc_lane` (the owner passes its
+  /// own lane; the daemon its own slot). Takes the lane lock when
+  /// hooked; returns blocks freed.
+  std::size_t drain_stash(int lane, std::size_t quota, int alloc_lane);
+
+  /// Per-op stash flush at the schedule's flush_quota; no-op unless
+  /// routing is armed and the lane's stash is non-empty. Also re-arms
+  /// routing after a mid-run flush_all (the teardown latch), which is
+  /// safe here because on_op_end proves the bundle is live again.
+  void maybe_flush_stash(int lane);
 
   std::size_t tenant_cell(int lane, std::uint32_t tenant) const {
     return static_cast<std::size_t>(lane) *
@@ -508,7 +643,16 @@ class FreeExecutor {
   int tenants_;
   bool multi_tenant_;
   bool daemon_hooked_ = false;
+  /// Home-flush routing armed (set_home_flush). Plain bool like
+  /// daemon_hooked_: flipped only while no thread runs.
+  bool home_flush_ = false;
+  /// Teardown latch: set by the first quiesce() so the rest of an
+  /// interleaved flush_all pass frees directly instead of routing;
+  /// cleared by maybe_flush_stash when ops resume. Relaxed atomic —
+  /// it only gates an optimization, never correctness.
+  std::atomic<bool> teardown_{false};
   std::vector<LaneState> lanes_;
+  std::vector<RemoteStash> stash_;
   std::atomic<std::uint64_t> freed_{0};
   // lane-major [lane][tenant] grids, allocated only when multi-tenant.
   std::unique_ptr<std::atomic<std::uint64_t>[]> tenant_retired_;

@@ -113,6 +113,10 @@ void ReclaimerDaemon::tick() {
   if (!act || backlog == 0) return;
 
   const int own_lane = handle_.slot();
+  // The sweep covers every lane, vacant ones included, and ls.backlog
+  // folds in the home-flush stash — so a stash fed after its owner
+  // departed (or while the owner idles between service bursts) is
+  // adopted here rather than stranding until re-registration.
   for (int lane = 0; lane < lanes; ++lane) {
     if (stop_.load(std::memory_order_acquire)) return;
     const LaneStats ls = ex.lane_stats(lane);

@@ -298,7 +298,8 @@ TEST(FreeSchedule, LatencyNamesInTheFactoryGrammar) {
   EXPECT_EQ(smr::reclaimer_base_name("he_latency"), "he");
   EXPECT_EQ(smr::reclaimer_base_name("token_latency"), "token");
   const std::vector<std::string> names = smr::all_factory_names();
-  EXPECT_EQ(names.size(), 57u);  // 13 bases + 11 suffixable x 4 suffixes
+  // 13 bases + 11 suffixable x (4 schedule suffixes + 5 _hf twins).
+  EXPECT_EQ(names.size(), 112u);
   auto has = [&](const char* n) {
     for (const std::string& s : names) {
       if (s == n) return true;

@@ -419,6 +419,69 @@ TEST(Report, CommittedQueueSnapshotParses) {
   EXPECT_TRUE(saw_asym) << "snapshot must contain asymmetric-layout rows";
 }
 
+TEST(Report, CommittedHomeflushSnapshotParses) {
+  const std::string path =
+      std::string(EMR_SOURCE_DIR) + "/BENCH_fig_homeflush.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing committed snapshot: " << path;
+  std::stringstream text;
+  text << in.rdbuf();
+  const std::vector<JsonObject> rows = parse_or_die(text.str());
+  // The control, three _hf schedule forms, and the two flush-batch
+  // sweep points.
+  ASSERT_GE(rows.size(), 6u);
+
+  const char* const kNumeric[] = {
+      "flush_batch", "producers",    "threads",
+      "mops",        "enq_p999_us",  "deq_p999_us",
+      "remote_share", "stashed",     "flushed",
+      "stash_backlog_end", "peak_garbage", "penalty_ns"};
+  const char* const kString[] = {"reclaimer", "schedule", "ds", "clock",
+                                 "pin"};
+  bool saw_hf = false;
+  bool saw_plain = false;
+  for (const JsonObject& row : rows) {
+    auto find = [&](const std::string& key) -> const JsonValue* {
+      for (const auto& [k, v] : row) {
+        if (k == key) return &v;
+      }
+      return nullptr;
+    };
+    for (const char* key : kNumeric) {
+      const JsonValue* v = find(key);
+      ASSERT_NE(v, nullptr) << key;
+      EXPECT_EQ(v->kind, JsonValue::kNumber) << key << " = " << v->str;
+    }
+    for (const char* key : kString) {
+      const JsonValue* v = find(key);
+      ASSERT_NE(v, nullptr) << key;
+      EXPECT_EQ(v->kind, JsonValue::kString) << key;
+      EXPECT_FALSE(v->str.empty()) << key;
+    }
+    const double share = find("remote_share")->num;
+    EXPECT_GE(share, 0.0);
+    EXPECT_LE(share, 1.0);
+    // The stash ledger a committed snapshot must witness: routed rows
+    // stashed and flushed every rerouted block (nothing stranded at
+    // teardown), control rows never touched the routing layer.
+    const std::string& reclaimer = find("reclaimer")->str;
+    const bool hf = reclaimer.size() > 3 &&
+                    reclaimer.compare(reclaimer.size() - 3, 3, "_hf") == 0;
+    EXPECT_DOUBLE_EQ(find("stash_backlog_end")->num, 0) << reclaimer;
+    EXPECT_DOUBLE_EQ(find("stashed")->num, find("flushed")->num)
+        << reclaimer;
+    if (hf) {
+      saw_hf = true;
+      EXPECT_GT(find("stashed")->num, 0) << reclaimer;
+    } else {
+      saw_plain = true;
+      EXPECT_DOUBLE_EQ(find("stashed")->num, 0) << reclaimer;
+    }
+  }
+  EXPECT_TRUE(saw_hf) << "snapshot must contain _hf rows";
+  EXPECT_TRUE(saw_plain) << "snapshot must contain a non-hf control row";
+}
+
 TEST(Report, CommittedServiceSnapshotParses) {
   const std::string path =
       std::string(EMR_SOURCE_DIR) + "/BENCH_fig_service.json";

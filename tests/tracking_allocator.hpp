@@ -47,6 +47,24 @@ class TrackingAllocator final : public alloc::Allocator {
     inner_->deallocate(tid, p);
   }
 
+  int home_lane(void* p) const override { return inner_->home_lane(p); }
+
+  /// The hint path is a free path: it must obey the same
+  /// no-double-free / no-foreign-pointer contract as deallocate, so the
+  /// home-flush ledger tests can count flushed blocks exactly.
+  void free_local_hint(int tid, void* p) override {
+    {
+      const std::lock_guard<std::mutex> guard(mu_);
+      ASSERT_EQ(live_.count(p), 1u) << "hint-freed a pointer that is not "
+                                       "live (double free or foreign "
+                                       "pointer)";
+      live_.erase(p);
+      ++frees_;
+      ++freed_counts_[p];
+    }
+    inner_->free_local_hint(tid, p);
+  }
+
   alloc::AllocStats stats() const override { return inner_->stats(); }
   const char* name() const override { return "tracking"; }
 
